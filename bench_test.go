@@ -1,0 +1,203 @@
+package bbv
+
+import (
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/bisim"
+	"repro/internal/exhibits"
+	"repro/internal/ktrace"
+	"repro/internal/lts"
+	"repro/internal/machine"
+	"repro/internal/refine"
+)
+
+// ---------------------------------------------------------------------------
+// Exhibit benchmarks: one per table and figure of the paper (quick-mode
+// instances; run `go run ./cmd/paper-tables all` for the full sweeps).
+// ---------------------------------------------------------------------------
+
+func benchExhibit(b *testing.B, name string) {
+	b.Helper()
+	e, err := exhibits.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := e.Run(exhibits.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty exhibit")
+		}
+	}
+}
+
+func BenchmarkTable1KTraceClassification(b *testing.B) { benchExhibit(b, "table1") }
+func BenchmarkTable2Verdicts(b *testing.B)             { benchExhibit(b, "table2") }
+func BenchmarkTable3MSQueueLockFree(b *testing.B)      { benchExhibit(b, "table3") }
+func BenchmarkTable4HMListLockFree(b *testing.B)       { benchExhibit(b, "table4") }
+func BenchmarkTable5HWQueueViolation(b *testing.B)     { benchExhibit(b, "table5") }
+func BenchmarkTable6QueueComparison(b *testing.B)      { benchExhibit(b, "table6") }
+func BenchmarkTable7WeakVsBranching(b *testing.B)      { benchExhibit(b, "table7") }
+func BenchmarkFig6TraceInvisibleLP(b *testing.B)       { benchExhibit(b, "fig6") }
+func BenchmarkFig7QuotientDiagnostics(b *testing.B)    { benchExhibit(b, "fig7") }
+func BenchmarkFig10QuotientReduction(b *testing.B)     { benchExhibit(b, "fig10") }
+
+// ---------------------------------------------------------------------------
+// Engine micro-benchmarks.
+// ---------------------------------------------------------------------------
+
+// buildLTS explores one packaged algorithm instance for the micro-benches.
+func buildLTS(b *testing.B, id string, threads, ops int, vals []int32) *lts.LTS {
+	b.Helper()
+	alg, err := algorithms.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := machine.Explore(alg.Build(algorithms.Config{Threads: threads, Ops: ops, Vals: vals}),
+		machine.Options{Threads: threads, Ops: ops})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkExploreMSQueue measures state-space generation (the CADP
+// generator replacement): canonicalization, hashing and interning.
+func BenchmarkExploreMSQueue(b *testing.B) {
+	alg, err := algorithms.ByID("ms-queue")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := alg.Build(algorithms.Config{Threads: 2, Ops: 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l, err := machine.Explore(prog, machine.Options{Threads: 2, Ops: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if l.NumStates() == 0 {
+			b.Fatal("empty LTS")
+		}
+	}
+}
+
+// BenchmarkBranchingPartition measures the signature-refinement core on a
+// quarter-million-state system.
+func BenchmarkBranchingPartition(b *testing.B) {
+	l := buildLTS(b, "ms-queue", 2, 3, []int32{1})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := bisim.Branching(l)
+		if p.Num == 0 {
+			b.Fatal("empty partition")
+		}
+	}
+}
+
+// BenchmarkDivergenceSensitivePartition adds the τ-SCC divergence flags.
+func BenchmarkDivergenceSensitivePartition(b *testing.B) {
+	l := buildLTS(b, "treiber-hp-fu", 2, 2, nil)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := bisim.DivergenceSensitiveBranching(l)
+		if p.Num == 0 {
+			b.Fatal("empty partition")
+		}
+	}
+}
+
+// BenchmarkWeakPartitionQuotient measures weak bisimulation on a quotient
+// (how Table VII is computed).
+func BenchmarkWeakPartitionQuotient(b *testing.B) {
+	l := buildLTS(b, "ms-queue", 2, 3, []int32{1})
+	q, _ := bisim.ReduceBranching(l)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := bisim.Weak(q)
+		if p.Num == 0 {
+			b.Fatal("empty partition")
+		}
+	}
+}
+
+// BenchmarkQuotientConstruction measures Definition 5.1 quotient building
+// given a partition.
+func BenchmarkQuotientConstruction(b *testing.B) {
+	l := buildLTS(b, "ms-queue", 2, 3, []int32{1})
+	p := bisim.Branching(l)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := bisim.Quotient(l, p)
+		if q.NumStates() == 0 {
+			b.Fatal("empty quotient")
+		}
+	}
+}
+
+// BenchmarkTraceInclusionQuotients measures the Theorem 5.3 refinement
+// check between quotients.
+func BenchmarkTraceInclusionQuotients(b *testing.B) {
+	acts := lts.NewAlphabet()
+	alg, err := algorithms.ByID("ms-queue")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := algorithms.Config{Threads: 2, Ops: 3, Vals: []int32{1}}
+	impl, err := machine.Explore(alg.Build(cfg), machine.Options{Threads: 2, Ops: 3, Acts: acts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := machine.Explore(alg.Spec(cfg), machine.Options{Threads: 2, Ops: 3, Acts: acts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	implQ, _ := bisim.ReduceBranching(impl)
+	specQ, _ := bisim.ReduceBranching(spec)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := refine.TraceInclusion(implQ, specQ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Included {
+			b.Fatal("unexpected refinement failure")
+		}
+	}
+}
+
+// BenchmarkKTraceHierarchy measures the ≡ₖ hierarchy computation on the
+// MS queue quotient (Table I workload).
+func BenchmarkKTraceHierarchy(b *testing.B) {
+	l := buildLTS(b, "ms-queue", 2, 3, []int32{1})
+	q, _ := bisim.ReduceBranching(l)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := ktrace.Analyze(q, 5)
+		if !a.Converged {
+			b.Fatal("hierarchy did not converge")
+		}
+	}
+}
+
+// BenchmarkTauSCC measures the τ-cycle (lock-freedom witness) analysis.
+func BenchmarkTauSCC(b *testing.B) {
+	l := buildLTS(b, "ms-queue", 2, 3, []int32{1})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scc := lts.TauSCCs(l)
+		if scc.NumComps == 0 {
+			b.Fatal("no components")
+		}
+	}
+}

@@ -1,0 +1,421 @@
+// Command bbverify verifies the packaged concurrent data structures with
+// the branching-bisimulation techniques of the paper.
+//
+//	bbverify list
+//	bbverify check   [-threads N] [-ops N] [-max-states N] <algorithm>
+//	bbverify explore [-threads N] [-ops N] [-quotient] [-dot F] [-aut F] <algorithm>
+//	bbverify ktrace  [-threads N] [-ops N] <algorithm>
+//
+// check runs both verification methods: linearizability by quotient
+// trace refinement (Theorem 5.3) and lock-freedom by divergence-sensitive
+// branching bisimulation against the quotient (Theorem 5.9), printing
+// counterexamples on failure. explore generates the state space, reports
+// quotient sizes and optionally exports Graphviz/Aldebaran files. ktrace
+// classifies the algorithm's τ steps in the ≡ₖ hierarchy (Table I).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/bisim"
+	"repro/internal/core"
+	"repro/internal/ktrace"
+	"repro/internal/ltl"
+	"repro/internal/lts"
+	"repro/internal/machine"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bbverify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "list":
+		return list()
+	case "check":
+		return check(args[1:])
+	case "explore":
+		return exploreCmd(args[1:])
+	case "ktrace":
+		return ktraceCmd(args[1:])
+	case "compare":
+		return compareCmd(args[1:])
+	case "ltl":
+		return ltlCmd(args[1:])
+	case "sweep":
+		return sweepCmd(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q (try: list, check, explore, ktrace, compare, ltl, sweep)", args[0])
+	}
+}
+
+func usage() {
+	fmt.Println(`bbverify — concurrent object verification via branching bisimulation
+
+subcommands:
+  list                         list the packaged algorithms
+  check   [flags] <algorithm>  verify linearizability (Thm 5.3) and lock-freedom (Thm 5.9)
+  explore [flags] <algorithm>  generate the state space and its quotient
+  ktrace  [flags] <algorithm>  classify tau steps in the k-trace hierarchy (Table I)
+  compare [flags] <algorithm>  compare the object with its specification under
+                               weak / branching / divergence-sensitive bisimilarity
+                               (Table VII), explaining any inequivalence
+  ltl     [flags] <algorithm>  model-check next-free LTL progress properties
+                               (-formula lockfree | completes:<Method>)
+  sweep   [flags] <algorithm>  sweep the operation bound (Table III / Fig. 10
+                               style): sizes, quotients, reduction, verdicts
+
+common flags: -threads N (default 2), -ops N (default 2), -vals 1,2, -max-states N`)
+}
+
+func list() error {
+	fmt.Printf("%-18s %-34s %-14s %s\n", "ID", "Name", "Linearizable", "Lock-free")
+	for _, a := range algorithms.All() {
+		lf := fmt.Sprint(a.ExpectLockFree)
+		if a.LockBased {
+			lf = "n/a (lock-based)"
+		}
+		fmt.Printf("%-18s %-34s %-14v %s\n", a.ID, a.Display+" "+a.Ref, a.ExpectLinearizable, lf)
+	}
+	return nil
+}
+
+type commonFlags struct {
+	fs        *flag.FlagSet
+	threads   *int
+	ops       *int
+	vals      *string
+	maxStates *int
+}
+
+func newFlags(name string) *commonFlags {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	return &commonFlags{
+		fs:        fs,
+		threads:   fs.Int("threads", 2, "number of client threads"),
+		ops:       fs.Int("ops", 2, "operations per thread"),
+		vals:      fs.String("vals", "", "comma-separated value universe (default algorithm-specific)"),
+		maxStates: fs.Int("max-states", 0, "state budget (0 = default)"),
+	}
+}
+
+func (c *commonFlags) parse(args []string) (*algorithms.Algorithm, algorithms.Config, core.Config, error) {
+	if err := c.fs.Parse(args); err != nil {
+		return nil, algorithms.Config{}, core.Config{}, err
+	}
+	rest := c.fs.Args()
+	if len(rest) != 1 {
+		return nil, algorithms.Config{}, core.Config{}, fmt.Errorf("expected exactly one algorithm ID (see `bbverify list`)")
+	}
+	alg, err := algorithms.ByID(rest[0])
+	if err != nil {
+		return nil, algorithms.Config{}, core.Config{}, err
+	}
+	var vals []int32
+	if *c.vals != "" {
+		for _, part := range strings.Split(*c.vals, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, algorithms.Config{}, core.Config{}, fmt.Errorf("bad -vals: %w", err)
+			}
+			vals = append(vals, int32(v))
+		}
+	}
+	acfg := algorithms.Config{Threads: *c.threads, Ops: *c.ops, Vals: vals}
+	ccfg := core.Config{Threads: *c.threads, Ops: *c.ops, MaxStates: *c.maxStates}
+	return alg, acfg, ccfg, nil
+}
+
+func check(args []string) error {
+	cf := newFlags("check")
+	alg, acfg, ccfg, err := cf.parse(args)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s (%d threads x %d ops) ==\n", alg.Display, ccfg.Threads, ccfg.Ops)
+
+	lin, err := core.CheckLinearizability(alg.Build(acfg), alg.Spec(acfg), ccfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("linearizability (Thm 5.3): %s   [%d states, quotient %d, spec quotient %d, %.2fs]\n",
+		verdict(lin.Linearizable), lin.ImplStates, lin.ImplQuotientStates, lin.SpecQuotient, lin.Elapsed.Seconds())
+	if !lin.Linearizable {
+		fmt.Println("non-linearizable history:")
+		fmt.Print(indent(lin.Counterexample.Format()))
+	}
+
+	if alg.LockBased {
+		dl, err := core.CheckDeadlockFree(alg.Build(acfg), ccfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("lock-freedom: skipped (lock-based algorithm); deadlock-free: %s\n", verdict(dl.DeadlockFree))
+		if !dl.DeadlockFree {
+			fmt.Println("deadlock witness:")
+			fmt.Print(indent(dl.Witness.Format()))
+		}
+		return nil
+	}
+	lf, err := core.CheckLockFreeAuto(alg.Build(acfg), ccfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lock-freedom (Thm %s): %s   [%d states, quotient %d, %.2fs]\n",
+		lf.Theorem, verdict(lf.LockFree), lf.ImplStates, lf.AbstractStates, lf.Elapsed.Seconds())
+	if !lf.LockFree {
+		fmt.Println("divergence:")
+		fmt.Print(indent(lf.Divergence.Format()))
+	}
+	if alg.Abstract != nil {
+		ab, err := core.CheckLockFreeAbstract(alg.Build(acfg), alg.Abstract(acfg), ccfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("lock-freedom (Thm %s): %s   [object =div-bisim= abstract: %v, abstract %d states]\n",
+			ab.Theorem, verdict(ab.LockFree), ab.Bisimilar, ab.AbstractStates)
+	}
+	return nil
+}
+
+func exploreCmd(args []string) error {
+	cf := newFlags("explore")
+	dotFile := cf.fs.String("dot", "", "write the quotient in Graphviz format")
+	autFile := cf.fs.String("aut", "", "write the full LTS in Aldebaran (.aut) format")
+	alg, acfg, ccfg, err := cf.parse(args)
+	if err != nil {
+		return err
+	}
+	l, err := machine.Explore(alg.Build(acfg), machine.Options{
+		Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates,
+	})
+	if err != nil {
+		return err
+	}
+	q, p := bisim.ReduceBranching(l)
+	fmt.Printf("%s (%d threads x %d ops)\n", alg.Display, ccfg.Threads, ccfg.Ops)
+	fmt.Printf("states:       %d\n", l.NumStates())
+	fmt.Printf("transitions:  %d (%d tau)\n", l.NumTransitions(), l.CountTau())
+	fmt.Printf("quotient:     %d states, %d transitions (reduction %.1fx)\n",
+		q.NumStates(), q.NumTransitions(), float64(l.NumStates())/float64(q.NumStates()))
+	fmt.Printf("blocks:       %d\n", p.Num)
+	if _, cyc := lts.HasTauCycle(l); cyc {
+		fmt.Println("divergence:   the system has a tau cycle (not lock-free)")
+	} else {
+		fmt.Println("divergence:   none (lock-free)")
+	}
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := lts.WriteDOT(f, q, alg.ID+"-quotient"); err != nil {
+			return err
+		}
+		fmt.Printf("wrote quotient DOT to %s\n", *dotFile)
+	}
+	if *autFile != "" {
+		f, err := os.Create(*autFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := lts.WriteAUT(f, l); err != nil {
+			return err
+		}
+		fmt.Printf("wrote LTS AUT to %s\n", *autFile)
+	}
+	return nil
+}
+
+func ktraceCmd(args []string) error {
+	cf := newFlags("ktrace")
+	maxK := cf.fs.Int("k", 5, "maximum hierarchy level")
+	alg, acfg, ccfg, err := cf.parse(args)
+	if err != nil {
+		return err
+	}
+	l, err := machine.Explore(alg.Build(acfg), machine.Options{
+		Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates,
+	})
+	if err != nil {
+		return err
+	}
+	q, _ := bisim.ReduceBranching(l)
+	an := ktrace.Analyze(q, *maxK)
+	cls := ktrace.Classify(q, an)
+	fmt.Printf("%s (%d threads x %d ops): %d states, quotient %d\n",
+		alg.Display, ccfg.Threads, ccfg.Ops, l.NumStates(), q.NumStates())
+	fmt.Printf("k-trace hierarchy cap: %d (converged: %v)\n", an.Cap, an.Converged)
+	for i, p := range an.Partitions {
+		fmt.Printf("  level %d: %d classes\n", i+1, p.Num)
+	}
+	if cls.Neq1 != nil {
+		fmt.Printf("tau step with endpoints neq-1: %s\n", q.LabelName(cls.Neq1.Label))
+	}
+	if cls.Eq1Neq2 != nil {
+		fmt.Printf("tau step with endpoints eq-1 but neq-2: %s (trace-invisible effect, cf. Fig. 6)\n",
+			q.LabelName(cls.Eq1Neq2.Label))
+	} else {
+		fmt.Println("no (eq-1, neq-2) tau step at this instance size")
+	}
+	return nil
+}
+
+func compareCmd(args []string) error {
+	cf := newFlags("compare")
+	alg, acfg, ccfg, err := cf.parse(args)
+	if err != nil {
+		return err
+	}
+	acts := lts.NewAlphabet()
+	labels := lts.NewAlphabet()
+	opts := machine.Options{Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates, Acts: acts, Labels: labels}
+	impl, err := machine.Explore(alg.Build(acfg), opts)
+	if err != nil {
+		return err
+	}
+	specLTS, err := machine.Explore(alg.Spec(acfg), opts)
+	if err != nil {
+		return err
+	}
+	implQ, _ := bisim.ReduceBranching(impl)
+	specQ, _ := bisim.ReduceBranching(specLTS)
+	fmt.Printf("== %s vs specification (%d threads x %d ops) ==\n", alg.Display, ccfg.Threads, ccfg.Ops)
+	fmt.Printf("object: %d states (quotient %d)   spec: %d states (quotient %d)\n",
+		impl.NumStates(), implQ.NumStates(), specLTS.NumStates(), specQ.NumStates())
+	// All notions are decided on the quotients (sound: every system is
+	// branching bisimilar to its quotient and ~br refines the others);
+	// only the divergence-sensitive notions must use the full systems,
+	// since quotienting erases divergence.
+	for _, k := range []bisim.Kind{bisim.KindWeak, bisim.KindDivWeak, bisim.KindBranching, bisim.KindDivBranching} {
+		var eq bool
+		if k == bisim.KindDivWeak || k == bisim.KindDivBranching {
+			eq, err = bisim.Equivalent(impl, specLTS, k)
+		} else {
+			eq, err = bisim.Equivalent(implQ, specQ, k)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-35s %v\n", k.String()+" bisimilar:", eq)
+	}
+	if exp, bad, err := bisim.Explain(implQ, specQ, bisim.KindBranching); err == nil && bad {
+		fmt.Println()
+		fmt.Print(exp.Format())
+	}
+	return nil
+}
+
+func ltlCmd(args []string) error {
+	cf := newFlags("ltl")
+	formula := cf.fs.String("formula", "lockfree", "lockfree, or completes:<Method>")
+	alg, acfg, ccfg, err := cf.parse(args)
+	if err != nil {
+		return err
+	}
+	var f *ltl.Formula
+	switch {
+	case *formula == "lockfree":
+		f = ltl.LockFreedom()
+	case strings.HasPrefix(*formula, "completes:"):
+		f = ltl.MethodCompletes(strings.TrimPrefix(*formula, "completes:"))
+	default:
+		return fmt.Errorf("unknown formula %q (use lockfree or completes:<Method>)", *formula)
+	}
+	l, err := machine.Explore(alg.Build(acfg), machine.Options{
+		Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := ltl.Check(l, f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s (%d threads x %d ops) ==\n", alg.Display, ccfg.Threads, ccfg.Ops)
+	fmt.Printf("formula: %s\n", f)
+	fmt.Printf("holds on all maximal executions: %v   [%d states, product %d]\n",
+		res.Holds, l.NumStates(), res.ProductStates)
+	if !res.Holds {
+		fmt.Println("counterexample lasso:")
+		for _, a := range res.Prefix {
+			fmt.Printf("  %q\n", a)
+		}
+		fmt.Println("  -- cycle repeats forever --")
+		for _, a := range res.Cycle {
+			fmt.Printf("  %q\n", a)
+		}
+	}
+	return nil
+}
+
+func sweepCmd(args []string) error {
+	cf := newFlags("sweep")
+	opsMax := cf.fs.Int("ops-max", 5, "largest operations-per-thread bound")
+	alg, acfg, ccfg, err := cf.parse(args)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s sweep: %d threads, 1..%d ops ==\n", alg.Display, ccfg.Threads, *opsMax)
+	fmt.Printf("%-5s %-10s %-10s %-10s %-10s %s\n", "#Op", "states", "quotient", "reduction", "lock-free", "time(s)")
+	for ops := 1; ops <= *opsMax; ops++ {
+		a := acfg
+		a.Ops = ops
+		start := time.Now()
+		l, err := machine.Explore(alg.Build(a), machine.Options{
+			Threads: ccfg.Threads, Ops: ops, MaxStates: ccfg.MaxStates,
+		})
+		if err != nil {
+			var lim *machine.StateLimitError
+			if errors.As(err, &lim) {
+				fmt.Printf("%-5d (exceeds the state budget of %d)\n", ops, lim.Limit)
+				return nil
+			}
+			return err
+		}
+		q, _ := bisim.ReduceBranching(l)
+		lf := "-"
+		if !alg.LockBased {
+			if _, cyc := lts.HasTauCycle(l); cyc {
+				lf = "No"
+			} else {
+				lf = "Yes"
+			}
+		}
+		fmt.Printf("%-5d %-10d %-10d %-10.1f %-10s %.2f\n",
+			ops, l.NumStates(), q.NumStates(),
+			float64(l.NumStates())/float64(q.NumStates()), lf, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "VIOLATED"
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ") + "\n"
+}

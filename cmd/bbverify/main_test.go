@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUsageAndList(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("no-arg usage: %v", err)
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help: %v", err)
+	}
+	if err := run([]string{"list"}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand must error")
+	}
+}
+
+func TestRunCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	for _, args := range [][]string{
+		{"check", "-threads", "2", "-ops", "1", "treiber"},
+		{"check", "-threads", "2", "-ops", "1", "-vals", "1", "ms-queue"},
+		{"check", "-threads", "2", "-ops", "1", "lazy-list"},
+		{"check", "-threads", "3", "-ops", "1", "hw-queue"},
+		{"check", "-threads", "2", "-ops", "2", "hm-list-buggy"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+	if err := run([]string{"check", "unknown-alg"}); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+	if err := run([]string{"check"}); err == nil {
+		t.Fatal("missing algorithm must error")
+	}
+	if err := run([]string{"check", "-vals", "x", "treiber"}); err == nil {
+		t.Fatal("bad -vals must error")
+	}
+	if err := run([]string{"check", "-threads", "2", "-ops", "2", "-max-states", "5", "treiber"}); err == nil {
+		t.Fatal("tiny state budget must error")
+	}
+}
+
+func TestRunExploreAndKtrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "q.dot")
+	aut := filepath.Join(dir, "l.aut")
+	if err := run([]string{"explore", "-threads", "2", "-ops", "1", "-dot", dot, "-aut", aut, "treiber"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{dot, aut} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("%s not written: %v", f, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s empty", f)
+		}
+	}
+	if !strings.Contains(readFile(t, dot), "digraph") {
+		t.Error("dot output malformed")
+	}
+	if !strings.HasPrefix(readFile(t, aut), "des (") {
+		t.Error("aut output malformed")
+	}
+	if err := run([]string{"ktrace", "-threads", "3", "-ops", "1", "hw-queue"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	if err := run([]string{"compare", "-threads", "2", "-ops", "1", "treiber"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compare", "-threads", "2", "-ops", "2", "-vals", "1", "ms-queue"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compare"}); err == nil {
+		t.Fatal("missing algorithm must error")
+	}
+}
+
+func TestRunLTL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	if err := run([]string{"ltl", "-threads", "3", "-ops", "1", "hw-queue"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"ltl", "-formula", "completes:Pop", "-threads", "2", "-ops", "1", "treiber"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"ltl", "-formula", "bogus", "treiber"}); err == nil {
+		t.Fatal("bad formula must error")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	if err := run([]string{"sweep", "-threads", "2", "-ops-max", "2", "-vals", "1", "ms-queue"}); err != nil {
+		t.Fatal(err)
+	}
+	// A tiny budget reports the cap instead of erroring.
+	if err := run([]string{"sweep", "-threads", "2", "-ops-max", "3", "-max-states", "50", "treiber"}); err != nil {
+		t.Fatal(err)
+	}
+}

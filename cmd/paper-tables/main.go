@@ -1,0 +1,64 @@
+// Command paper-tables regenerates the tables and figures of the paper's
+// evaluation (Section VI). With no arguments it lists the available
+// exhibits; "all" runs every exhibit in paper order.
+//
+//	paper-tables [-quick] [-max-states N] all
+//	paper-tables [-quick] [-max-states N] table3 fig10 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exhibits"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paper-tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("paper-tables", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "run reduced instances (fast demo)")
+	maxStates := fs.Int("max-states", 0, "per-instance state budget (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		fmt.Println("available exhibits:")
+		for _, e := range exhibits.All() {
+			fmt.Printf("  %-8s %-18s %s\n", e.Name, e.Paper, e.Description)
+		}
+		fmt.Println("  all      (everything, paper order)")
+		return nil
+	}
+	var selected []exhibits.Exhibit
+	for _, name := range names {
+		if name == "all" {
+			selected = exhibits.All()
+			break
+		}
+		e, err := exhibits.ByName(name)
+		if err != nil {
+			return err
+		}
+		selected = append(selected, e)
+	}
+	opt := exhibits.Options{Quick: *quick, MaxStates: *maxStates}
+	for _, e := range selected {
+		start := time.Now()
+		t, err := e.Run(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		fmt.Println(t.Render())
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", e.Paper, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("listing exhibits: %v", err)
+	}
+	if err := run([]string{"no-such-exhibit"}); err == nil {
+		t.Fatal("unknown exhibit must error")
+	}
+	if err := run([]string{"-bad-flag"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}
+
+func TestRunQuickExhibit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	if err := run([]string{"-quick", "table5"}); err != nil {
+		t.Fatal(err)
+	}
+}

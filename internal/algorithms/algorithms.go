@@ -1,0 +1,131 @@
+// Package algorithms models the paper's 14 benchmark concurrent data
+// structures (Table II) as machine.Program values, together with their
+// linearizable specifications and — for MS/DGLM queues, CCAS and RDCSS —
+// the hand-written abstract programs used by Theorem 5.8.
+//
+// Statement granularity follows the paper's models: one shared-memory
+// access (read, write, or CAS) per atomic statement; purely local
+// computation rides along with the shared access that feeds it, and
+// immutable fields (keys, values of initialized nodes) may be read in any
+// statement. Statement labels carry the line numbers of the paper's
+// pseudo-code where it gives them (Fig. 5), so quotient diagnostics print
+// the same "L20"/"L28" markers the paper discusses.
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// Node kinds used across the models.
+const (
+	kindNode  int32 = 1 // list/stack/queue cell
+	kindDesc  int32 = 2 // CCAS/RDCSS descriptor
+	kindOffer int32 = 3 // HSY elimination offer
+)
+
+// Config sizes one verification instance of an algorithm.
+type Config struct {
+	// Threads and Ops bound the most general client (per the paper's
+	// #Th.#Op instance naming).
+	Threads, Ops int
+	// Vals is the data-value universe for Push/Enq arguments and the key
+	// universe for set algorithms; nil means {1, 2}.
+	Vals []int32
+}
+
+// Values returns the configured value universe.
+func (c Config) Values() []int32 {
+	if c.Vals == nil {
+		return []int32{1, 2}
+	}
+	return c.Vals
+}
+
+// totalOps is the total operation budget, which bounds allocations.
+func (c Config) totalOps() int { return c.Threads * c.Ops }
+
+// Algorithm ties an implementation to its specification and metadata.
+type Algorithm struct {
+	// ID is the short machine-readable name (e.g. "ms-queue").
+	ID string
+	// Display is the Table II row name.
+	Display string
+	// Ref is the paper's citation marker.
+	Ref string
+	// NonFixedLPs marks algorithms whose linearization points depend on
+	// future execution (the ✓ column of Tables I and II).
+	NonFixedLPs bool
+	// LockBased marks the fine-grained lock-based lists (bottom of
+	// Table II), for which only linearizability is checked.
+	LockBased bool
+	// Extension marks algorithms beyond the paper's Table II, packaged as
+	// additional demonstrations (e.g. the ABA-unsafe Treiber stack).
+	Extension bool
+	// ExpectLinearizable and ExpectLockFree are the paper's verdicts.
+	ExpectLinearizable bool
+	ExpectLockFree     bool
+	// Build constructs the implementation model.
+	Build func(Config) *machine.Program
+	// Spec constructs the linearizable specification.
+	Spec func(Config) *machine.Program
+	// Abstract constructs the Theorem 5.8 abstract program, when the
+	// paper provides one; nil otherwise.
+	Abstract func(Config) *machine.Program
+}
+
+// All returns the registry: the 15 Table II rows (14 benchmarks; the HM
+// list appears twice, buggy and revised) in paper order, followed by the
+// packaged extensions.
+func All() []*Algorithm {
+	return []*Algorithm{
+		treiberAlg(),
+		treiberHPAlg(),
+		treiberHPFuAlg(),
+		msQueueAlg(),
+		dglmQueueAlg(),
+		ccasAlg(),
+		rdcssAlg(),
+		newCASAlg(),
+		hmListBuggyAlg(),
+		hmListAlg(),
+		hwQueueAlg(),
+		hsyStackAlg(),
+		lazyListAlg(),
+		optimisticListAlg(),
+		fineGrainedListAlg(),
+		treiberUnsafeFreeAlg(),
+		twoLockQueueAlg(),
+		coarseListAlg(),
+		harrisListAlg(),
+		treiberVersionedAlg(),
+	}
+}
+
+// TableII returns only the paper's Table II rows, in order.
+func TableII() []*Algorithm {
+	var out []*Algorithm
+	for _, a := range All() {
+		if !a.Extension {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ByID looks up a registry entry.
+func ByID(id string) (*Algorithm, error) {
+	for _, a := range All() {
+		if a.ID == id {
+			return a, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, a := range All() {
+		ids = append(ids, a.ID)
+	}
+	sort.Strings(ids)
+	return nil, fmt.Errorf("algorithms: unknown algorithm %q (known: %v)", id, ids)
+}

@@ -1,0 +1,94 @@
+package bisim
+
+import (
+	"repro/internal/lts"
+)
+
+// divergenceAction is the synthetic visible action used to encode
+// divergence when computing divergence-sensitive branching bisimulation.
+// It is never interned into an Alphabet; the ID is chosen outside any
+// realistic alphabet range and only lives inside signature pairs.
+const divergenceAction lts.ActionID = 1<<30 - 1
+
+// Branching computes the branching bisimulation partition of l
+// (the relation ≈ of Definition 4.1, in its standard stuttering form).
+func Branching(l *lts.LTS) *Partition {
+	return branching(l, false)
+}
+
+// DivergenceSensitiveBranching computes the divergence-sensitive branching
+// bisimulation partition of l (the relation ≈div of Definition 5.5).
+func DivergenceSensitiveBranching(l *lts.LTS) *Partition {
+	return branching(l, true)
+}
+
+func branching(l *lts.LTS, divSensitive bool) *Partition {
+	scc := lts.TauSCCs(l)
+	collapsed, stateOf := lts.CollapseTauSCCs(l, scc)
+	divergent := make([]bool, collapsed.NumStates())
+	if divSensitive {
+		for s := 0; s < l.NumStates(); s++ {
+			c := scc.Comp[s]
+			if scc.Divergent[c] {
+				divergent[c] = true
+			}
+		}
+	}
+	cp := branchingOnDAG(collapsed, divergent)
+	// Map the collapsed partition back to the original states.
+	blockOf := make([]int32, l.NumStates())
+	for s := range blockOf {
+		blockOf[s] = cp.BlockOf[stateOf[s]]
+	}
+	return &Partition{BlockOf: blockOf, Num: cp.Num}
+}
+
+// branchingOnDAG runs signature refinement on a τ-acyclic LTS. The τ-SCC
+// collapse numbers components in reverse topological order, so every τ
+// transition goes from a higher state ID to a strictly lower one; states
+// are therefore processed in increasing ID order so that inert-τ
+// signature inheritance finds its successors already computed.
+//
+// The branching signature of s under partition P is
+//
+//	sig(s) = { (a, P(t)) | s ⇒ᵢ s' --a--> t, a ≠ τ or P(t) ≠ P(s) }
+//
+// where ⇒ᵢ is any sequence of inert τ steps (staying inside P(s)).
+// States marked divergent additionally contribute (δ, P(s)), encoding a
+// visible δ self-loop.
+func branchingOnDAG(l *lts.LTS, divergent []bool) *Partition {
+	n := l.NumStates()
+	p := uniform(n)
+	table := newSigTable(n)
+	sigs := make([][]uint64, n)
+	for {
+		table.reset()
+		next := make([]int32, n)
+		for s := 0; s < n; s++ {
+			sig := sigs[s][:0]
+			sb := p.BlockOf[s]
+			for _, tr := range l.Succ(int32(s)) {
+				tb := p.BlockOf[tr.Dst]
+				if lts.IsTau(tr.Action) && tb == sb {
+					// Inert: inherit the τ-successor's signature. The
+					// collapse guarantees tr.Dst < s, so sigs[tr.Dst] is
+					// final for this round.
+					sig = append(sig, sigs[tr.Dst]...)
+					continue
+				}
+				sig = append(sig, sigPair(tr.Action, tb))
+			}
+			if divergent[s] {
+				sig = append(sig, sigPair(divergenceAction, sb))
+			}
+			sig = sortDedup(sig)
+			sigs[s] = sig
+			next[s] = table.blockFor(sb, sig)
+		}
+		num := len(table.keys)
+		if num == p.Num {
+			return p
+		}
+		p = &Partition{BlockOf: next, Num: num}
+	}
+}

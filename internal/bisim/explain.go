@@ -1,0 +1,139 @@
+package bisim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lts"
+)
+
+// Explanation describes why two systems are not branching bisimilar: the
+// refinement round at which their initial states first separated and the
+// signature entries each side had that the other could not match at that
+// round. A signature entry is an action the state can perform after inert
+// internal steps (δ marks the ability to diverge), paired with the
+// equivalence class it reaches.
+type Explanation struct {
+	// Kind is the bisimulation notion explained (branching or
+	// divergence-sensitive branching).
+	Kind Kind
+	// Round is the refinement round (1-based) at which the initial
+	// states separated.
+	Round int
+	// LeftOnly and RightOnly render the unmatched signature entries.
+	LeftOnly, RightOnly []string
+}
+
+// Format renders the explanation.
+func (e *Explanation) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "not %v bisimilar: the initial states separate at refinement round %d\n", e.Kind, e.Round)
+	if len(e.LeftOnly) > 0 {
+		fmt.Fprintf(&sb, "only the left system can (after inert internal steps):\n")
+		for _, s := range e.LeftOnly {
+			fmt.Fprintf(&sb, "  %s\n", s)
+		}
+	}
+	if len(e.RightOnly) > 0 {
+		fmt.Fprintf(&sb, "only the right system can (after inert internal steps):\n")
+		for _, s := range e.RightOnly {
+			fmt.Fprintf(&sb, "  %s\n", s)
+		}
+	}
+	return sb.String()
+}
+
+// Explain diagnoses why a and b are not bisimilar under branching or
+// divergence-sensitive branching bisimulation. It returns ok=false (and a
+// nil explanation) when the systems are in fact bisimilar. Only
+// KindBranching and KindDivBranching are supported.
+func Explain(a, b *lts.LTS, k Kind) (*Explanation, bool, error) {
+	if k != KindBranching && k != KindDivBranching {
+		return nil, false, fmt.Errorf("bisim: Explain supports branching kinds, not %v", k)
+	}
+	u, initB, err := lts.DisjointUnion(a, b)
+	if err != nil {
+		return nil, false, err
+	}
+	scc := lts.TauSCCs(u)
+	collapsed, stateOf := lts.CollapseTauSCCs(u, scc)
+	divergent := make([]bool, collapsed.NumStates())
+	if k == KindDivBranching {
+		for s := 0; s < u.NumStates(); s++ {
+			if scc.Divergent[scc.Comp[s]] {
+				divergent[scc.Comp[s]] = true
+			}
+		}
+	}
+	ia := stateOf[u.Init]
+	ib := stateOf[initB]
+
+	n := collapsed.NumStates()
+	p := uniform(n)
+	table := newSigTable(n)
+	sigs := make([][]uint64, n)
+	for round := 1; ; round++ {
+		table.reset()
+		next := make([]int32, n)
+		for s := 0; s < n; s++ {
+			sig := sigs[s][:0]
+			sb := p.BlockOf[s]
+			for _, tr := range collapsed.Succ(int32(s)) {
+				tb := p.BlockOf[tr.Dst]
+				if lts.IsTau(tr.Action) && tb == sb {
+					sig = append(sig, sigs[tr.Dst]...)
+					continue
+				}
+				sig = append(sig, sigPair(tr.Action, tb))
+			}
+			if divergent[s] {
+				sig = append(sig, sigPair(divergenceAction, sb))
+			}
+			sig = sortDedup(sig)
+			sigs[s] = sig
+			next[s] = table.blockFor(sb, sig)
+		}
+		if next[ia] != next[ib] {
+			left := diffSigs(collapsed.Acts, sigs[ia], sigs[ib])
+			right := diffSigs(collapsed.Acts, sigs[ib], sigs[ia])
+			if len(left) == 0 && len(right) == 0 {
+				// Same signatures, but the states were split in an earlier
+				// round through different blocks; report the class split.
+				left = []string{"(reaches a class distinguished in an earlier round)"}
+			}
+			return &Explanation{Kind: k, Round: round, LeftOnly: left, RightOnly: right}, true, nil
+		}
+		num := len(table.keys)
+		if num == p.Num {
+			return nil, false, nil // bisimilar
+		}
+		p = &Partition{BlockOf: next, Num: num}
+	}
+}
+
+// diffSigs renders the signature entries of a that b lacks.
+func diffSigs(acts *lts.Alphabet, a, b []uint64) []string {
+	inB := make(map[uint64]bool, len(b))
+	for _, p := range b {
+		inB[p] = true
+	}
+	var out []string
+	for _, p := range a {
+		if inB[p] {
+			continue
+		}
+		act := lts.ActionID(p >> 32)
+		class := int32(uint32(p))
+		switch {
+		case act == divergenceAction:
+			out = append(out, "diverge (an infinite run of internal steps)")
+		case lts.IsTau(act):
+			out = append(out, fmt.Sprintf("take an effectful internal step into class #%d", class))
+		default:
+			out = append(out, fmt.Sprintf("perform %s into class #%d", acts.Name(act), class))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

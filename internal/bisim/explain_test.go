@@ -1,0 +1,115 @@
+package bisim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/lts"
+)
+
+func TestExplainVisibleDifference(t *testing.T) {
+	acts := lts.NewAlphabet()
+	a := buildLTS(t, acts, 0, [][3]interface{}{{0, "x", 1}})
+	b := buildLTS(t, acts, 0, [][3]interface{}{{0, "y", 1}})
+	exp, ok, err := Explain(a, b, KindBranching)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("systems differ, Explain should report it")
+	}
+	joined := strings.Join(exp.LeftOnly, " ") + "|" + strings.Join(exp.RightOnly, " ")
+	if !strings.Contains(joined, "perform x") || !strings.Contains(joined, "perform y") {
+		t.Fatalf("explanation misses the actions: %s", exp.Format())
+	}
+	if exp.Round != 1 {
+		t.Fatalf("round = %d, want 1", exp.Round)
+	}
+}
+
+func TestExplainDivergence(t *testing.T) {
+	acts := lts.NewAlphabet()
+	a := buildLTS(t, acts, 0, [][3]interface{}{{0, "x", 1}})
+	b := buildLTS(t, acts, 0, [][3]interface{}{{0, "x", 1}, {1, lts.TauName, 1}})
+	if _, ok, err := Explain(a, b, KindBranching); err != nil || ok {
+		t.Fatalf("plain branching should find them bisimilar (ok=%v err=%v)", ok, err)
+	}
+	exp, ok, err := Explain(a, b, KindDivBranching)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("divergence-sensitive Explain should report the tau loop")
+	}
+	if !strings.Contains(exp.Format(), "diverge") {
+		t.Fatalf("explanation should mention divergence:\n%s", exp.Format())
+	}
+}
+
+func TestExplainDeeperRound(t *testing.T) {
+	acts := lts.NewAlphabet()
+	// a.(b + c) vs a.b + a.c separate only at round 2.
+	a := buildLTS(t, acts, 0, [][3]interface{}{
+		{0, "a", 1}, {1, "b", 2}, {1, "c", 3},
+	})
+	b := buildLTS(t, acts, 0, [][3]interface{}{
+		{0, "a", 1}, {0, "a", 2}, {1, "b", 3}, {2, "c", 4},
+	})
+	exp, ok, err := Explain(a, b, KindBranching)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("expected inequivalence")
+	}
+	if exp.Round < 2 {
+		t.Fatalf("round = %d, want >= 2", exp.Round)
+	}
+}
+
+func TestExplainRejectsUnsupportedKinds(t *testing.T) {
+	acts := lts.NewAlphabet()
+	a := buildLTS(t, acts, 0, nil)
+	if _, _, err := Explain(a, a, KindWeak); err == nil {
+		t.Fatal("weak kind must be rejected")
+	}
+	other := buildLTS(t, lts.NewAlphabet(), 0, nil)
+	if _, _, err := Explain(a, other, KindBranching); err == nil {
+		t.Fatal("alphabet mismatch must error")
+	}
+}
+
+// TestExplainAgreesWithEquivalent: Explain(a,b) reports inequivalence
+// exactly when Equivalent(a,b) is false.
+func TestExplainAgreesWithEquivalent(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		acts := lts.NewAlphabet()
+		names := []string{lts.TauName, "a", "b"}
+		build := func() *lts.LTS {
+			n := 2 + r.Intn(7)
+			bl := lts.NewBuilder(acts)
+			bl.SetInit(0)
+			bl.AddStates(n)
+			for i := 0; i < 1+r.Intn(2*n); i++ {
+				bl.Add(r.Intn(n), names[r.Intn(len(names))], r.Intn(n))
+			}
+			return bl.Build()
+		}
+		a, b := build(), build()
+		for _, k := range []Kind{KindBranching, KindDivBranching} {
+			eq, err := Equivalent(a, b, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, reported, err := Explain(a, b, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reported == eq {
+				t.Fatalf("seed %d kind %v: Equivalent=%v but Explain reported inequivalence=%v", seed, k, eq, reported)
+			}
+		}
+	}
+}

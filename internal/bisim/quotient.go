@@ -1,0 +1,110 @@
+package bisim
+
+import (
+	"fmt"
+
+	"repro/internal/lts"
+)
+
+// Quotient builds the quotient transition system Δ/P of Definition 5.1:
+// states are the blocks of p, visible transitions are kept between blocks
+// (including self-loops), and τ transitions are kept only when they cross
+// blocks — inert τ steps disappear. Diagnostic labels are preserved (the
+// first label seen per quotient edge wins), which keeps line-number
+// annotations such as "t1.L28" visible in quotient analyses.
+func Quotient(l *lts.LTS, p *Partition) *lts.LTS {
+	b := lts.NewBuilder(l.Acts)
+	b.SetLabels(l.Labels)
+	b.AddStates(p.Num)
+	b.SetInit(int(p.BlockOf[l.Init]))
+	seen := make(map[uint64]struct{}, l.NumTransitions())
+	for s := 0; s < l.NumStates(); s++ {
+		bs := p.BlockOf[s]
+		for _, tr := range l.Succ(int32(s)) {
+			bd := p.BlockOf[tr.Dst]
+			if lts.IsTau(tr.Action) && bs == bd {
+				continue
+			}
+			key := uint64(uint32(bs))<<40 ^ uint64(uint32(bd))<<16 ^ uint64(uint16(tr.Action))
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			b.AddFull(int(bs), tr.Action, tr.Label, int(bd))
+		}
+	}
+	return b.Build()
+}
+
+// ReduceBranching computes the branching bisimulation quotient Δ/≈ of l,
+// returning the quotient and the partition.
+func ReduceBranching(l *lts.LTS) (*lts.LTS, *Partition) {
+	p := Branching(l)
+	return Quotient(l, p), p
+}
+
+// Kind selects a bisimulation notion for Equivalent.
+type Kind int
+
+const (
+	// KindStrong is strong bisimulation.
+	KindStrong Kind = iota + 1
+	// KindBranching is branching bisimulation (≈).
+	KindBranching
+	// KindDivBranching is divergence-sensitive branching bisimulation (≈div).
+	KindDivBranching
+	// KindWeak is weak bisimulation (≈w).
+	KindWeak
+	// KindDivWeak is weak bisimulation with explicit divergence.
+	KindDivWeak
+)
+
+// String returns the conventional name of the bisimulation kind.
+func (k Kind) String() string {
+	switch k {
+	case KindStrong:
+		return "strong"
+	case KindBranching:
+		return "branching"
+	case KindDivBranching:
+		return "divergence-sensitive branching"
+	case KindWeak:
+		return "weak"
+	case KindDivWeak:
+		return "divergence-sensitive weak"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+func partition(l *lts.LTS, k Kind) (*Partition, error) {
+	switch k {
+	case KindStrong:
+		return Strong(l), nil
+	case KindBranching:
+		return Branching(l), nil
+	case KindDivBranching:
+		return DivergenceSensitiveBranching(l), nil
+	case KindWeak:
+		return Weak(l), nil
+	case KindDivWeak:
+		return DivergenceSensitiveWeak(l), nil
+	default:
+		return nil, fmt.Errorf("bisim: unknown kind %v", k)
+	}
+}
+
+// Equivalent reports whether two systems over a shared alphabet are
+// bisimilar under the chosen notion, by partitioning their disjoint union
+// and comparing the blocks of the initial states.
+func Equivalent(a, b *lts.LTS, k Kind) (bool, error) {
+	u, initB, err := lts.DisjointUnion(a, b)
+	if err != nil {
+		return false, err
+	}
+	p, err := partition(u, k)
+	if err != nil {
+		return false, err
+	}
+	return p.BlockOf[u.Init] == p.BlockOf[initB], nil
+}

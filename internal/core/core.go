@@ -1,0 +1,299 @@
+// Package core implements the paper's two verification methods (Fig. 1):
+//
+//   - Linearizability via branching-bisimulation quotients (Theorem 5.3):
+//     Δ is linearizable w.r.t. the specification Θsp iff Δ/≈ ⊑tr Θsp/≈.
+//   - Lock-freedom via divergence-sensitive branching bisimulation,
+//     either automatically against the object's own quotient
+//     (Theorem 5.9) or against a hand-written abstract program
+//     (Theorem 5.8).
+//
+// Both methods work on labeled transition systems generated from
+// machine.Program models under most general clients, need no
+// linearization-point annotations, and produce counterexamples: a
+// non-linearizable history, or a divergence (τ-lasso) diagnostic.
+//
+// On wait-freedom: under a bounded most general client every cycle of the
+// state graph is a τ-cycle (calls consume operation budget, returns end
+// pending operations), so an execution in which one thread is starved by
+// infinitely many successful operations of the others is not expressible
+// and lock-freedom and wait-freedom coincide on these instances. Checking
+// wait-freedom properly needs fairness assumptions, which the paper also
+// leaves to next-free LTL over fair schedulers (Section V.B); this
+// library takes the same position.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bisim"
+	"repro/internal/lts"
+	"repro/internal/machine"
+	"repro/internal/refine"
+)
+
+// Config bounds an individual verification instance.
+type Config struct {
+	// Threads is the number of most-general-client threads.
+	Threads int
+	// Ops is the number of operations per thread.
+	Ops int
+	// MaxStates caps each state-space generation; 0 uses the machine
+	// package default.
+	MaxStates int
+}
+
+func (c Config) options(acts, labels *lts.Alphabet) machine.Options {
+	return machine.Options{
+		Threads:   c.Threads,
+		Ops:       c.Ops,
+		MaxStates: c.MaxStates,
+		Acts:      acts,
+		Labels:    labels,
+	}
+}
+
+// Explore generates the LTS of a program under this configuration with a
+// shared alphabet, exposed for analyses beyond the canned checks.
+func Explore(p *machine.Program, cfg Config, acts, labels *lts.Alphabet) (*lts.LTS, error) {
+	return machine.Explore(p, cfg.options(acts, labels))
+}
+
+// LinearizabilityResult reports a Theorem 5.3 check.
+type LinearizabilityResult struct {
+	// Linearizable is the verdict.
+	Linearizable bool
+	// Counterexample is a non-linearizable history when the verdict is
+	// negative (e.g. the double-remove history of the buggy HM list).
+	Counterexample *refine.Counterexample
+	// State-space sizes: the object Δ, the specification Θsp and their
+	// branching-bisimulation quotients.
+	ImplStates, SpecStates           int
+	ImplQuotientStates, SpecQuotient int
+	// Elapsed is the total wall-clock verification time.
+	Elapsed time.Duration
+}
+
+// CheckLinearizability verifies impl against spec by Theorem 5.3: compute
+// both branching-bisimulation quotients, then decide trace refinement
+// between the quotients.
+func CheckLinearizability(impl, spec *machine.Program, cfg Config) (*LinearizabilityResult, error) {
+	start := time.Now()
+	acts := lts.NewAlphabet()
+	labels := lts.NewAlphabet()
+	implLTS, err := Explore(impl, cfg, acts, labels)
+	if err != nil {
+		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
+	}
+	specLTS, err := Explore(spec, cfg, acts, labels)
+	if err != nil {
+		return nil, fmt.Errorf("explore %s: %w", spec.Name, err)
+	}
+	implQ, _ := bisim.ReduceBranching(implLTS)
+	specQ, _ := bisim.ReduceBranching(specLTS)
+	res, err := refine.TraceInclusion(implQ, specQ)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearizabilityResult{
+		Linearizable:       res.Included,
+		Counterexample:     res.Counterexample,
+		ImplStates:         implLTS.NumStates(),
+		SpecStates:         specLTS.NumStates(),
+		ImplQuotientStates: implQ.NumStates(),
+		SpecQuotient:       specQ.NumStates(),
+		Elapsed:            time.Since(start),
+	}, nil
+}
+
+// LockFreedomResult reports a Theorem 5.8 or 5.9 check.
+type LockFreedomResult struct {
+	// LockFree is the verdict.
+	LockFree bool
+	// Divergence is a τ-lasso witnessing the violation when LockFree is
+	// false (Fig. 9 style).
+	Divergence *lts.Path
+	// Theorem names the proof rule used: "5.9 (quotient)" or
+	// "5.8 (abstract)".
+	Theorem string
+	// ImplStates and AbstractStates are the state-space sizes of the
+	// object and of the quotient/abstract program it was compared with.
+	ImplStates, AbstractStates int
+	// Bisimilar reports whether impl ≈div the quotient/abstraction.
+	Bisimilar bool
+	// Elapsed is the total wall-clock verification time.
+	Elapsed time.Duration
+}
+
+// CheckLockFreeAuto verifies lock-freedom fully automatically by
+// Theorem 5.9: compute Δ/≈ and check Δ ≈div Δ/≈. The quotient never has
+// an infinite τ-path (Lemma 5.7), so ≈div holds exactly when Δ is
+// divergence-free; a failure yields a divergence diagnostic.
+func CheckLockFreeAuto(impl *machine.Program, cfg Config) (*LockFreedomResult, error) {
+	start := time.Now()
+	acts := lts.NewAlphabet()
+	labels := lts.NewAlphabet()
+	implLTS, err := Explore(impl, cfg, acts, labels)
+	if err != nil {
+		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
+	}
+	quotient, _ := bisim.ReduceBranching(implLTS)
+	if _, cyc := lts.HasTauCycle(quotient); cyc {
+		// Lemma 5.7 guarantees this cannot happen; failing loudly here
+		// protects against engine bugs.
+		return nil, fmt.Errorf("core: quotient of %s has a τ-cycle, violating Lemma 5.7", impl.Name)
+	}
+	eq, err := bisim.Equivalent(implLTS, quotient, bisim.KindDivBranching)
+	if err != nil {
+		return nil, err
+	}
+	res := &LockFreedomResult{
+		LockFree:       eq,
+		Theorem:        "5.9 (quotient)",
+		ImplStates:     implLTS.NumStates(),
+		AbstractStates: quotient.NumStates(),
+		Bisimilar:      eq,
+		Elapsed:        time.Since(start),
+	}
+	if !eq {
+		path, ok := lts.DivergencePath(implLTS)
+		if !ok {
+			return nil, fmt.Errorf("core: %s is not ≈div its quotient but no τ-cycle was found", impl.Name)
+		}
+		res.Divergence = path
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// CheckLockFreeAbstract verifies lock-freedom by Theorem 5.8: establish
+// impl ≈div abs and check lock-freedom of the (much simpler) abstract
+// program. When the two systems are not ≈div-related the theorem does not
+// apply; the result then reports Bisimilar=false and, if impl itself
+// diverges, carries the divergence diagnostic.
+func CheckLockFreeAbstract(impl, abs *machine.Program, cfg Config) (*LockFreedomResult, error) {
+	start := time.Now()
+	acts := lts.NewAlphabet()
+	labels := lts.NewAlphabet()
+	implLTS, err := Explore(impl, cfg, acts, labels)
+	if err != nil {
+		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
+	}
+	absLTS, err := Explore(abs, cfg, acts, labels)
+	if err != nil {
+		return nil, fmt.Errorf("explore %s: %w", abs.Name, err)
+	}
+	eq, err := bisim.Equivalent(implLTS, absLTS, bisim.KindDivBranching)
+	if err != nil {
+		return nil, err
+	}
+	res := &LockFreedomResult{
+		Theorem:        "5.8 (abstract)",
+		ImplStates:     implLTS.NumStates(),
+		AbstractStates: absLTS.NumStates(),
+		Bisimilar:      eq,
+	}
+	if !eq {
+		res.LockFree = false
+		if path, ok := lts.DivergencePath(implLTS); ok {
+			res.Divergence = path
+		}
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	// Theorem 5.8: impl is lock-free iff abs is. The abstract program is
+	// finite-state, so its lock-freedom is a τ-cycle check.
+	if path, ok := lts.DivergencePath(absLTS); ok {
+		res.LockFree = false
+		res.Divergence = path
+	} else {
+		res.LockFree = true
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// EquivalenceReport compares an object with its specification under both
+// weak and branching bisimilarity (Table VII of the paper).
+type EquivalenceReport struct {
+	ImplStates, SpecStates         int
+	ImplQuotient, SpecQuotient     int
+	WeakBisimilar, BranchBisimilar bool
+	Elapsed                        time.Duration
+}
+
+// CompareWithSpec reproduces one row of Table VII: sizes of Δ, Δ/≈, Θsp,
+// Θsp/≈, plus whether Δ ~w Θsp and Δ ≈ Θsp.
+func CompareWithSpec(impl, spec *machine.Program, cfg Config) (*EquivalenceReport, error) {
+	start := time.Now()
+	acts := lts.NewAlphabet()
+	labels := lts.NewAlphabet()
+	implLTS, err := Explore(impl, cfg, acts, labels)
+	if err != nil {
+		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
+	}
+	specLTS, err := Explore(spec, cfg, acts, labels)
+	if err != nil {
+		return nil, fmt.Errorf("explore %s: %w", spec.Name, err)
+	}
+	implQ, _ := bisim.ReduceBranching(implLTS)
+	specQ, _ := bisim.ReduceBranching(specLTS)
+	// Δ ≈ Δ/≈ and ≈ refines ~w, so both equivalences can be decided on
+	// the far smaller quotients: Δ R Θsp iff Δ/≈ R Θsp/≈ for R ∈ {≈, ~w}.
+	weak, err := bisim.Equivalent(implQ, specQ, bisim.KindWeak)
+	if err != nil {
+		return nil, err
+	}
+	br, err := bisim.Equivalent(implQ, specQ, bisim.KindBranching)
+	if err != nil {
+		return nil, err
+	}
+	return &EquivalenceReport{
+		ImplStates:      implLTS.NumStates(),
+		SpecStates:      specLTS.NumStates(),
+		ImplQuotient:    implQ.NumStates(),
+		SpecQuotient:    specQ.NumStates(),
+		WeakBisimilar:   weak,
+		BranchBisimilar: br,
+		Elapsed:         time.Since(start),
+	}, nil
+}
+
+// DeadlockResult reports a deadlock-freedom check. Deadlock-freedom is a
+// sanity property for the lock-based objects of Table II's bottom half:
+// no reachable state may leave some client forever blocked with no
+// transition enabled (the legitimate end states — all operations
+// completed — do not count).
+type DeadlockResult struct {
+	// DeadlockFree is the verdict.
+	DeadlockFree bool
+	// Witness is a shortest path into a deadlocked state when the verdict
+	// is negative.
+	Witness *lts.Path
+	// States is the explored state-space size.
+	States int
+	// Elapsed is the wall-clock check time.
+	Elapsed time.Duration
+}
+
+// CheckDeadlockFree explores the object and searches for reachable
+// deadlocks.
+func CheckDeadlockFree(impl *machine.Program, cfg Config) (*DeadlockResult, error) {
+	start := time.Now()
+	l, info, err := machine.ExploreWithInfo(impl, cfg.options(nil, nil))
+	if err != nil {
+		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
+	}
+	res := &DeadlockResult{DeadlockFree: len(info.Deadlocks) == 0, States: l.NumStates()}
+	if !res.DeadlockFree {
+		dead := make(map[int32]bool, len(info.Deadlocks))
+		for _, s := range info.Deadlocks {
+			dead[s] = true
+		}
+		if path, ok := lts.ShortestPathTo(l, func(s int32) bool { return dead[s] }); ok {
+			res.Witness = path
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

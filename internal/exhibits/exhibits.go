@@ -1,0 +1,41 @@
+package exhibits
+
+import "fmt"
+
+// Exhibit names one regenerable table or figure.
+type Exhibit struct {
+	// Name is the CLI identifier (e.g. "table3").
+	Name string
+	// Paper is the exhibit's number in the paper.
+	Paper string
+	// Description summarizes what the exhibit shows.
+	Description string
+	// Run computes the exhibit.
+	Run func(Options) (*Table, error)
+}
+
+// All lists every exhibit in paper order.
+func All() []Exhibit {
+	return []Exhibit{
+		{"table1", "Table I", "k-trace equivalence classification of τ steps", Table1},
+		{"table2", "Table II", "linearizability & lock-freedom verdicts for the 14 benchmarks", Table2},
+		{"table3", "Table III", "automatic lock-freedom sweep of the MS queue", Table3},
+		{"table4", "Table IV", "automatic lock-freedom sweep of the HM list", Table4},
+		{"table5", "Table V / Fig. 9", "HW queue lock-freedom violation with divergence diagnostic", Table5},
+		{"table6", "Table VI", "MS/DGLM queues: sizes, Thm 5.8 and Thm 5.3 checks", Table6},
+		{"table7", "Table VII", "weak vs branching bisimilarity against the specification", Table7},
+		{"fig6", "Fig. 6", "the MS queue's trace-invisible LP (≡₁ but ≢₂ step)", Fig6},
+		{"fig7", "Fig. 7", "essential internal steps and the non-fixed-LP diagnostic", Fig7},
+		{"fig10", "Fig. 10", "state-space reduction by ≈-quotienting", Fig10},
+	}
+}
+
+// ByName resolves an exhibit.
+func ByName(name string) (Exhibit, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Exhibit{}, fmt.Errorf("exhibits: unknown exhibit %q", name)
+}

@@ -1,0 +1,239 @@
+package exhibits
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickRun(t *testing.T, name string) *Table {
+	t.Helper()
+	e, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s: no rows", name)
+	}
+	return tbl
+}
+
+func cell(t *testing.T, tbl *Table, rowContains, column string) string {
+	t.Helper()
+	col := -1
+	for i, c := range tbl.Columns {
+		if c == column {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("no column %q in %v", column, tbl.Columns)
+	}
+	for _, row := range tbl.Rows {
+		if strings.Contains(strings.Join(row, " "), rowContains) {
+			return row[col]
+		}
+	}
+	t.Fatalf("no row containing %q", rowContains)
+	return ""
+}
+
+func TestByName(t *testing.T) {
+	if len(All()) != 10 {
+		t.Fatalf("expected 10 exhibits, got %d", len(All()))
+	}
+	if _, err := ByName("table99"); err == nil {
+		t.Fatal("unknown exhibit must error")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "T", Columns: []string{"a", "bb"}}
+	tbl.Add("x", 12)
+	tbl.Add(true, 3.5)
+	tbl.Note("note %d", 7)
+	out := tbl.Render()
+	for _, want := range []string{"T\n", "a", "bb", "x", "12", "Yes", "3.50", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	tbl := quickRun(t, "table1")
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("Table I should have 7 rows, got %d", len(tbl.Rows))
+	}
+	// Every algorithm shows a neq1 step; the fixed-LP ones never show
+	// eq1-and-neq2.
+	for _, row := range tbl.Rows {
+		if !strings.Contains(strings.Join(row, " "), "Y") {
+			t.Errorf("row %v has no neq1 mark", row)
+		}
+	}
+	if got := cell(t, tbl, "Treiber", "eq1-and-neq2"); got != "" {
+		t.Errorf("Treiber stack must not show eq1-and-neq2, got %q", got)
+	}
+	if got := cell(t, tbl, "NewCompareAndSet", "eq1-and-neq2"); got != "" {
+		t.Errorf("NewCAS must not show eq1-and-neq2, got %q", got)
+	}
+	// The HW queue shows it already at 3 threads x 1 op (quick bounds).
+	if got := cell(t, tbl, "HW queue", "eq1-and-neq2"); got != "Y" {
+		t.Errorf("HW queue should show eq1-and-neq2, got %q", got)
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	tbl := quickRun(t, "table2")
+	if len(tbl.Rows) != 15 {
+		t.Fatalf("Table II should have 15 rows, got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "Y" {
+			t.Errorf("row %v does not match the paper's verdicts", row)
+		}
+	}
+	if got := cell(t, tbl, "HM lock-free list [17]", "Linearizability"); got != "VIOLATED" {
+		t.Errorf("buggy HM list linearizability = %q", got)
+	}
+	if got := cell(t, tbl, "revised) [10]", "Lock-freedom"); got != "VIOLATED" {
+		t.Errorf("Fu stack lock-freedom = %q", got)
+	}
+	notes := strings.Join(tbl.Notes, "\n")
+	if !strings.Contains(notes, "Remove(true)") || !strings.Contains(notes, "divergence") {
+		t.Errorf("notes should carry both counterexamples:\n%s", notes)
+	}
+}
+
+func TestTables345Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	t3 := quickRun(t, "table3")
+	for _, row := range t3.Rows {
+		if row[3] != "Yes" {
+			t.Errorf("MS queue instance %s not lock-free", row[0])
+		}
+	}
+	t4 := quickRun(t, "table4")
+	for _, row := range t4.Rows {
+		if row[3] != "Yes" {
+			t.Errorf("HM list instance %s not lock-free", row[0])
+		}
+	}
+	t5 := quickRun(t, "table5")
+	if got := cell(t, t5, "3-1", "lock-free (Thm 5.9)"); got != "No" {
+		t.Errorf("HW queue 3-1 lock-free = %q, want No", got)
+	}
+	if !strings.Contains(strings.Join(t5.Notes, ""), "divergence") {
+		t.Error("Table V should print the divergence diagnostic (Fig. 9)")
+	}
+}
+
+func TestTable6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	tbl := quickRun(t, "table6")
+	for _, row := range tbl.Rows {
+		if row[9] != "Yes" || row[12] != "Yes" {
+			t.Errorf("row %v: both checks must pass", row)
+		}
+		// MS and DGLM share the quotient: the cell has no slash.
+		if strings.Contains(row[6], "/") {
+			t.Errorf("row %v: MS and DGLM quotients differ", row)
+		}
+	}
+}
+
+func TestTable7Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	tbl := quickRun(t, "table7")
+	if got := cell(t, tbl, "Treiber", "branching"); got != "Yes" {
+		t.Errorf("Treiber ~br spec = %q, want Yes", got)
+	}
+	if got := cell(t, tbl, "MS lock-free", "branching"); got != "No" {
+		t.Errorf("MS queue ~br spec = %q, want No", got)
+	}
+	if got := cell(t, tbl, "MS lock-free", "weak"); got != "No" {
+		t.Errorf("MS queue ~w spec = %q, want No", got)
+	}
+}
+
+func TestFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	quickRun(t, "fig6") // full assertion runs at paper scale in the verification harness
+	f7 := quickRun(t, "fig7")
+	labels := map[string]bool{}
+	for _, row := range f7.Rows {
+		labels[row[0]] = true
+	}
+	for _, want := range []string{"L8", "L20", "L28"} {
+		if !labels[want] {
+			t.Errorf("fig7: essential step %s missing from quotient labels %v", want, labels)
+		}
+	}
+	if !strings.Contains(strings.Join(f7.Notes, ""), "t2.L20") {
+		t.Error("fig7: diagnostic path should interleave L20/L28")
+	}
+	f10 := quickRun(t, "fig10")
+	if len(f10.Rows) < 20 {
+		t.Errorf("fig10: expected rows for 11 algorithms, got %d", len(f10.Rows))
+	}
+}
+
+// TestFig6FindsTheL28Step runs the Fig. 6 exhibit at the paper's full
+// instance (2 threads x 5 ops) and asserts the trace-invisible step is
+// found and is the L28 head-swing CAS.
+func TestFig6FindsTheL28Step(t *testing.T) {
+	if testing.Short() {
+		t.Skip("306k-state exploration")
+	}
+	tbl, err := Fig6(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if !strings.Contains(last[4], "L28") {
+		t.Fatalf("expected the L28 step at 2-5, got row %v", last)
+	}
+}
+
+// TestCappedInstancesAreReported: a tiny state budget must not fail the
+// exhibit; rows beyond the budget carry the capped marker.
+func TestCappedInstancesAreReported(t *testing.T) {
+	tbl, err := Table3(Options{Quick: true, MaxStates: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundCapped := false
+	for _, row := range tbl.Rows {
+		if row[1] == capped {
+			foundCapped = true
+		}
+	}
+	if !foundCapped {
+		t.Fatalf("expected capped rows with a 500-state budget: %v", tbl.Rows)
+	}
+	f10, err := Fig10(Options{Quick: true, MaxStates: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f10.Rows) == 0 {
+		t.Fatal("fig10 must still report rows under a tiny budget")
+	}
+}

@@ -1,0 +1,277 @@
+// Package ktrace implements the k-trace equivalence hierarchy of
+// Section III of the paper (Definition 3.1): ≡₁ is ordinary trace
+// equivalence, and ≡ₖ₊₁ additionally compares the ≡ₖ-classes of all
+// intermediate states along paths, with stuttering τ-sequences (τ steps
+// that do not change the ≡ₖ-class) collapsed. The hierarchy stabilizes at
+// the system's cap, and by Theorem 4.3 the limit coincides with branching
+// bisimilarity — a property the test suite checks against package bisim.
+//
+// The computation realizes each level as a language-equivalence problem:
+// relabel every transition with the pair (action, ≡ₖ-class of target),
+// treat class-preserving τ steps as ε, determinize by subset construction,
+// and partition the deterministic automaton. Because k-trace languages are
+// prefix-closed, language equality of the deterministic automaton is plain
+// bisimilarity on it. This is exponential in the worst case — matching the
+// PSPACE-hardness of trace equivalence — and is intended for the modest
+// instances of Table I.
+package ktrace
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/bisim"
+	"repro/internal/lts"
+)
+
+// Analysis holds the computed hierarchy for one system.
+type Analysis struct {
+	// Partitions[i] is the ≡ᵢ₊₁ partition (Partitions[0] is ≡₁).
+	Partitions []*bisim.Partition
+	// Cap is the smallest k such that ≡ₖ equals ≡ₖ₊₁ (Section III.B), or
+	// 0 if the hierarchy did not stabilize within the requested bound.
+	Cap int
+	// Converged reports whether the hierarchy stabilized.
+	Converged bool
+}
+
+// Analyze computes the hierarchy of l up to maxK levels.
+func Analyze(l *lts.LTS, maxK int) *Analysis {
+	a := &Analysis{}
+	prev := &bisim.Partition{BlockOf: make([]int32, l.NumStates()), Num: 1}
+	for k := 1; k <= maxK; k++ {
+		next := level(l, prev)
+		a.Partitions = append(a.Partitions, next)
+		if next.Num == prev.Num && k > 1 {
+			a.Cap = k - 1
+			a.Converged = true
+			a.Partitions = a.Partitions[:k-1]
+			break
+		}
+		prev = next
+	}
+	return a
+}
+
+// Equivalence returns the ≡ₖ partition from the analysis; if the hierarchy
+// converged below k the cap partition (the limit) is returned.
+func (a *Analysis) Equivalence(k int) *bisim.Partition {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(a.Partitions) {
+		k = len(a.Partitions)
+	}
+	return a.Partitions[k-1]
+}
+
+// TauStep describes a τ transition whose endpoints separate at some level
+// of the hierarchy.
+type TauStep struct {
+	From, To int32
+	Label    lts.LabelID
+	// Level is the smallest k with From ≢ₖ To.
+	Level int
+}
+
+// Classification summarizes the τ transitions of a system against the
+// hierarchy, reproducing the columns of Table I.
+type Classification struct {
+	// Neq1 reports a τ step s → r with s ≢₁ r (last column of Table I).
+	Neq1 *TauStep
+	// Eq1Neq2 reports a τ step s → r with s ≡₁ r yet s ≢₂ r (the middle
+	// column: the step's effect is invisible to linear-time equivalence
+	// but visible to the branching hierarchy, like s₁ → s₃ in Fig. 6).
+	Eq1Neq2 *TauStep
+}
+
+// Classify inspects every τ transition of l against the hierarchy.
+func Classify(l *lts.LTS, a *Analysis) Classification {
+	var c Classification
+	p1 := a.Equivalence(1)
+	p2 := a.Equivalence(2)
+	for s := 0; s < l.NumStates(); s++ {
+		for _, tr := range l.Succ(int32(s)) {
+			if !lts.IsTau(tr.Action) {
+				continue
+			}
+			if p1.BlockOf[s] != p1.BlockOf[tr.Dst] {
+				if c.Neq1 == nil {
+					c.Neq1 = &TauStep{From: int32(s), To: tr.Dst, Label: tr.Label, Level: 1}
+				}
+			} else if p2.BlockOf[s] != p2.BlockOf[tr.Dst] {
+				if c.Eq1Neq2 == nil {
+					c.Eq1Neq2 = &TauStep{From: int32(s), To: tr.Dst, Label: tr.Label, Level: 2}
+				}
+			}
+			if c.Neq1 != nil && c.Eq1Neq2 != nil {
+				return c
+			}
+		}
+	}
+	return c
+}
+
+// level computes the next partition of the hierarchy from prev: the
+// language-equivalence partition of the (action, prev-class) relabeled
+// automaton, refined by prev itself.
+func level(l *lts.LTS, prev *bisim.Partition) *bisim.Partition {
+	n := l.NumStates()
+	// Intern (action, class) letters.
+	letters := make(map[uint64]int32)
+	letterOf := func(a lts.ActionID, cls int32) int32 {
+		key := uint64(uint32(a))<<32 | uint64(uint32(cls))
+		if id, ok := letters[key]; ok {
+			return id
+		}
+		id := int32(len(letters))
+		letters[key] = id
+		return id
+	}
+	// ε-closure per state under class-preserving τ steps.
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	stamp := int32(0)
+	closure := func(set []int32) []int32 {
+		var out []int32
+		stack := append([]int32(nil), set...)
+		for _, s := range set {
+			mark[s] = stamp
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			out = append(out, s)
+			for _, tr := range l.Succ(s) {
+				if lts.IsTau(tr.Action) && prev.BlockOf[tr.Dst] == prev.BlockOf[s] && mark[tr.Dst] != stamp {
+					mark[tr.Dst] = stamp
+					stack = append(stack, tr.Dst)
+				}
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		stamp++
+		return out
+	}
+
+	// Subset construction over all singleton starts.
+	macros := make(map[string]int32)
+	var macroSets [][]int32
+	var buf []byte
+	intern := func(set []int32) int32 {
+		buf = buf[:0]
+		for _, s := range set {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(s))
+		}
+		if id, ok := macros[string(buf)]; ok {
+			return id
+		}
+		id := int32(len(macroSets))
+		macros[string(buf)] = id
+		macroSets = append(macroSets, set)
+		return id
+	}
+
+	startOf := make([]int32, n)
+	for s := 0; s < n; s++ {
+		startOf[s] = intern(closure([]int32{int32(s)}))
+	}
+
+	// Deterministic successor function; macroSets grows as new subsets are
+	// discovered, so a plain index loop doubles as the work queue.
+	type dedge struct {
+		letter int32
+		dst    int32
+	}
+	dsucc := make([][]dedge, len(macroSets))
+	for m := 0; m < len(macroSets); m++ {
+		set := macroSets[m]
+		// Gather moves per letter.
+		moves := make(map[int32][]int32)
+		for _, s := range set {
+			cs := prev.BlockOf[s]
+			for _, tr := range l.Succ(s) {
+				if lts.IsTau(tr.Action) && prev.BlockOf[tr.Dst] == cs {
+					continue // ε, already inside the closure
+				}
+				lt := letterOf(tr.Action, prev.BlockOf[tr.Dst])
+				moves[lt] = append(moves[lt], tr.Dst)
+			}
+		}
+		lettersSorted := make([]int32, 0, len(moves))
+		for lt := range moves {
+			lettersSorted = append(lettersSorted, lt)
+		}
+		sort.Slice(lettersSorted, func(i, j int) bool { return lettersSorted[i] < lettersSorted[j] })
+		for _, lt := range lettersSorted {
+			dsts := dedupSorted(moves[lt])
+			before := len(macroSets)
+			md := intern(closure(dsts))
+			if int(md) == before {
+				dsucc = append(dsucc, nil)
+			}
+			dsucc[m] = append(dsucc[m], dedge{letter: lt, dst: md})
+		}
+	}
+
+	// Partition the deterministic automaton by bisimilarity (= language
+	// equivalence for prefix-closed languages).
+	mb := make([]int32, len(macroSets)) // macro block ids
+	num := 1
+	sigKeys := make(map[string]int32, len(macroSets))
+	var sig []uint64
+	for {
+		clear(sigKeys)
+		next := make([]int32, len(macroSets))
+		for m := range macroSets {
+			sig = sig[:0]
+			for _, e := range dsucc[m] {
+				sig = append(sig, uint64(uint32(e.letter))<<32|uint64(uint32(mb[e.dst])))
+			}
+			sort.Slice(sig, func(i, j int) bool { return sig[i] < sig[j] })
+			buf = buf[:0]
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(mb[m]))
+			for _, p := range sig {
+				buf = binary.LittleEndian.AppendUint64(buf, p)
+			}
+			id, ok := sigKeys[string(buf)]
+			if !ok {
+				id = int32(len(sigKeys))
+				sigKeys[string(buf)] = id
+			}
+			next[m] = id
+		}
+		if len(sigKeys) == num {
+			break
+		}
+		num = len(sigKeys)
+		mb = next
+	}
+
+	// Final state partition: (prev class, language block), renumbered.
+	out := make([]int32, n)
+	ids := make(map[uint64]int32)
+	for s := 0; s < n; s++ {
+		key := uint64(uint32(prev.BlockOf[s]))<<32 | uint64(uint32(mb[startOf[s]]))
+		id, ok := ids[key]
+		if !ok {
+			id = int32(len(ids))
+			ids[key] = id
+		}
+		out[s] = id
+	}
+	return &bisim.Partition{BlockOf: out, Num: len(ids)}
+}
+
+func dedupSorted(xs []int32) []int32 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

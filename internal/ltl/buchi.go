@@ -1,0 +1,290 @@
+package ltl
+
+import (
+	"sort"
+	"strings"
+)
+
+// buchi is a (degeneralized) Büchi automaton over action labels. Edges
+// carry a conjunction of literals (propositions or negated propositions)
+// that the action must satisfy.
+type buchi struct {
+	props     []Prop // interned propositions; literals index into this
+	initial   []int32
+	accepting []bool
+	succ      [][]bedge
+}
+
+type bedge struct {
+	// lits is a conjunction: positive literal i is encoded as +(i+1),
+	// negative as -(i+1).
+	lits []int16
+	dst  int32
+}
+
+// satisfies evaluates the conjunction for one action name.
+func (b *buchi) satisfies(lits []int16, action string) bool {
+	for _, l := range lits {
+		idx := l
+		if idx < 0 {
+			idx = -idx
+		}
+		holds := b.props[idx-1].Holds(action)
+		if (l > 0) != holds {
+			return false
+		}
+	}
+	return true
+}
+
+// gpvwNode is a node of the Gerth–Peled–Vardi–Wolper tableau.
+type gpvwNode struct {
+	incoming []int // node IDs (0 = init marker)
+	new      []*Formula
+	old      []*Formula
+	next     []*Formula
+}
+
+// translate builds a generalized Büchi automaton for the negation-normal
+// formula f via the classic GPVW construction, then degeneralizes.
+func translate(f *Formula) *buchi {
+	interned := map[string]int{}
+	var props []Prop
+	propIndex := func(p Prop) int {
+		if i, ok := interned[p.Name]; ok {
+			return i
+		}
+		i := len(props)
+		interned[p.Name] = i
+		props = append(props, p)
+		return i
+	}
+
+	var nodes []*gpvwNode
+	keyOf := func(fs []*Formula) string {
+		ss := make([]string, len(fs))
+		for i, g := range fs {
+			ss[i] = g.String()
+		}
+		sort.Strings(ss)
+		return strings.Join(ss, ";")
+	}
+	// done maps (old, next) keys to node IDs.
+	done := map[string]int{}
+
+	contains := func(fs []*Formula, g *Formula) bool {
+		for _, h := range fs {
+			if h.String() == g.String() {
+				return true
+			}
+		}
+		return false
+	}
+	add := func(fs []*Formula, g *Formula) []*Formula {
+		if contains(fs, g) {
+			return fs
+		}
+		out := make([]*Formula, len(fs), len(fs)+1)
+		copy(out, fs)
+		return append(out, g)
+	}
+
+	const initMarker = -1
+	var expand func(n *gpvwNode)
+	expand = func(n *gpvwNode) {
+		if len(n.new) == 0 {
+			key := keyOf(n.old) + "|" + keyOf(n.next)
+			if id, ok := done[key]; ok {
+				// Merge incoming edges into the existing node.
+				nodes[id].incoming = append(nodes[id].incoming, n.incoming...)
+				return
+			}
+			id := len(nodes)
+			done[key] = id
+			nodes = append(nodes, n)
+			succ := &gpvwNode{incoming: []int{id}, new: append([]*Formula(nil), n.next...)}
+			expand(succ)
+			return
+		}
+		g := n.new[len(n.new)-1]
+		n.new = n.new[:len(n.new)-1]
+		switch g.op {
+		case opTrue:
+			expand(n)
+		case opFalse:
+			return // inconsistent: drop the node
+		case opAtom, opNot:
+			// opNot here is only over atoms (negation normal form).
+			neg := negLiteral(g)
+			for _, h := range n.old {
+				if h.String() == neg {
+					return // contradiction
+				}
+			}
+			n.old = add(n.old, g)
+			expand(n)
+		case opAnd:
+			n.new = append(n.new, g.lhs, g.rhs)
+			n.old = add(n.old, g)
+			expand(n)
+		case opOr:
+			left := &gpvwNode{
+				incoming: append([]int(nil), n.incoming...),
+				new:      append(append([]*Formula(nil), n.new...), g.lhs),
+				old:      add(n.old, g),
+				next:     append([]*Formula(nil), n.next...),
+			}
+			right := &gpvwNode{
+				incoming: append([]int(nil), n.incoming...),
+				new:      append(append([]*Formula(nil), n.new...), g.rhs),
+				old:      add(n.old, g),
+				next:     append([]*Formula(nil), n.next...),
+			}
+			expand(left)
+			expand(right)
+		case opUntil: // g = l U r: r ∨ (l ∧ X g)
+			left := &gpvwNode{
+				incoming: append([]int(nil), n.incoming...),
+				new:      append(append([]*Formula(nil), n.new...), g.lhs),
+				old:      add(n.old, g),
+				next:     add(n.next, g),
+			}
+			right := &gpvwNode{
+				incoming: append([]int(nil), n.incoming...),
+				new:      append(append([]*Formula(nil), n.new...), g.rhs),
+				old:      add(n.old, g),
+				next:     append([]*Formula(nil), n.next...),
+			}
+			expand(left)
+			expand(right)
+		case opRelease: // g = l R r: (r ∧ l) ∨ (r ∧ X g)
+			left := &gpvwNode{
+				incoming: append([]int(nil), n.incoming...),
+				new:      append(append([]*Formula(nil), n.new...), g.rhs, g.lhs),
+				old:      add(n.old, g),
+				next:     append([]*Formula(nil), n.next...),
+			}
+			right := &gpvwNode{
+				incoming: append([]int(nil), n.incoming...),
+				new:      append(append([]*Formula(nil), n.new...), g.rhs),
+				old:      add(n.old, g),
+				next:     add(n.next, g),
+			}
+			expand(left)
+			expand(right)
+		}
+	}
+
+	root := &gpvwNode{incoming: []int{initMarker}, new: []*Formula{f}}
+	expand(root)
+
+	// Collect the until subformulas for the generalized acceptance sets.
+	var untils []*Formula
+	seenU := map[string]bool{}
+	var walk func(g *Formula)
+	walk = func(g *Formula) {
+		if g == nil {
+			return
+		}
+		if g.op == opUntil && !seenU[g.String()] {
+			seenU[g.String()] = true
+			untils = append(untils, g)
+		}
+		walk(g.lhs)
+		walk(g.rhs)
+	}
+	walk(f)
+
+	// Literal labels of each tableau node (the constraint on the action
+	// observed while in the node).
+	litsOf := func(n *gpvwNode) []int16 {
+		var lits []int16
+		for _, g := range n.old {
+			switch g.op {
+			case opAtom:
+				lits = append(lits, int16(propIndex(g.prop)+1))
+			case opNot:
+				lits = append(lits, -int16(propIndex(g.lhs.prop)+1))
+			}
+		}
+		sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+		return lits
+	}
+	// acceptance: node n is in acceptance set i iff it does not "owe"
+	// untils[i]: g ∉ old(n) or rhs(g) ∈ old(n).
+	inSet := func(n *gpvwNode, g *Formula) bool {
+		if !containsStr(n.old, g.String()) {
+			return true
+		}
+		return containsStr(n.old, g.rhs.String())
+	}
+
+	// Degeneralize (Baier–Katoen style): states are (node, counter); a
+	// transition from (q, i) advances the counter to i+1 mod k when
+	// q ∈ F_i (source-based), and the accepting states are F_0 × {0}.
+	// With no until subformulas, k = 1 and every state accepts.
+	k := len(untils)
+	if k == 0 {
+		k = 1
+	}
+	nNodes := len(nodes)
+	id := func(node, counter int) int32 { return int32(counter*nNodes + node) }
+	b := &buchi{
+		props:     props,
+		accepting: make([]bool, nNodes*k+1),
+		succ:      make([][]bedge, nNodes*k+1),
+	}
+	inAccSet := func(node, set int) bool {
+		if len(untils) == 0 {
+			return true
+		}
+		return inSet(nodes[node], untils[set])
+	}
+	for ni := 0; ni < nNodes; ni++ {
+		b.accepting[id(ni, 0)] = inAccSet(ni, 0)
+	}
+	nextCounter := func(node, c int) int {
+		if inAccSet(node, c) {
+			return (c + 1) % k
+		}
+		return c
+	}
+	// GPVW semantics: the literal constraint of a node applies to the
+	// action consumed when ENTERING it, so tableau edge m -> n carries
+	// n's literals; nodes marked with the init marker are entered from a
+	// fresh pre-initial state.
+	pre := int32(nNodes * k)
+	for ni, n := range nodes {
+		lits := litsOf(n)
+		for _, in := range n.incoming {
+			if in == initMarker {
+				b.succ[pre] = append(b.succ[pre], bedge{lits: lits, dst: id(ni, 0)})
+				continue
+			}
+			for c := 0; c < k; c++ {
+				b.succ[id(in, c)] = append(b.succ[id(in, c)], bedge{lits: lits, dst: id(ni, nextCounter(in, c))})
+			}
+		}
+	}
+	b.initial = []int32{pre}
+	// litsOf interned propositions lazily while the edges were built, so
+	// the final table is only known now.
+	b.props = props
+	return b
+}
+
+func negLiteral(g *Formula) string {
+	if g.op == opNot {
+		return g.lhs.String()
+	}
+	return "!(" + g.String() + ")"
+}
+
+func containsStr(fs []*Formula, s string) bool {
+	for _, h := range fs {
+		if h.String() == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,299 @@
+package ltl
+
+import (
+	"repro/internal/lts"
+)
+
+// Result reports a model-checking run.
+type Result struct {
+	// Holds reports whether every maximal execution satisfies the
+	// formula.
+	Holds bool
+	// Prefix and Cycle form a counterexample lasso of action names when
+	// the formula fails: the execution runs Prefix and then repeats
+	// Cycle forever. The synthetic Terminated action marks a terminal
+	// state.
+	Prefix, Cycle []string
+	// ProductStates is the size of the explored product, a work measure.
+	ProductStates int
+}
+
+// pedge is an edge of the product graph.
+type pedge struct {
+	dst        int32
+	act        lts.ActionID
+	terminated bool
+}
+
+// product is the synchronous product of an LTS (with Terminated
+// self-loops at terminal states) and a Büchi automaton.
+type product struct {
+	l         *lts.LTS
+	states    []pstate
+	succ      [][]pedge
+	initials  []int32
+	accepting []bool
+}
+
+type pstate struct {
+	s int32
+	q int32
+}
+
+// Check decides whether all maximal executions of l satisfy f, by
+// translating ¬f to a Büchi automaton, building the product with l
+// (terminal states extended with Terminated self-loops) and searching for
+// a reachable accepting cycle.
+func Check(l *lts.LTS, f *Formula) (*Result, error) {
+	neg := negationNormal(f, true)
+	b := translate(neg)
+	p := buildProduct(l, b)
+
+	comp, nontrivial := p.sccs()
+	accState := int32(-1)
+	for i := range p.states {
+		if p.accepting[i] && nontrivial[comp[i]] {
+			accState = int32(i)
+			break
+		}
+	}
+	res := &Result{ProductStates: len(p.states)}
+	if accState < 0 {
+		res.Holds = true
+		return res, nil
+	}
+	res.Prefix = p.path(p.initials, accState, nil)
+	sameComp := func(from, to int32) bool {
+		return comp[from] == comp[accState] && comp[to] == comp[accState]
+	}
+	res.Cycle = p.path([]int32{accState}, accState, sameComp)
+	return res, nil
+}
+
+// buildProduct explores the reachable product of l and b.
+func buildProduct(l *lts.LTS, b *buchi) *product {
+	// Memoize proposition evaluation per action ID (plus Terminated).
+	nActs := l.Acts.Len()
+	evalP := make([][]bool, len(b.props))
+	termP := make([]bool, len(b.props))
+	for pi, pr := range b.props {
+		evalP[pi] = make([]bool, nActs)
+		for a := 0; a < nActs; a++ {
+			evalP[pi][a] = pr.Holds(l.Acts.Name(lts.ActionID(a)))
+		}
+		termP[pi] = pr.Holds(Terminated)
+	}
+	litsOK := func(lits []int16, act lts.ActionID, terminated bool) bool {
+		for _, lit := range lits {
+			idx := lit
+			if idx < 0 {
+				idx = -idx
+			}
+			var holds bool
+			if terminated {
+				holds = termP[idx-1]
+			} else {
+				holds = evalP[idx-1][act]
+			}
+			if (lit > 0) != holds {
+				return false
+			}
+		}
+		return true
+	}
+
+	p := &product{l: l}
+	ids := map[pstate]int32{}
+	intern := func(ps pstate) int32 {
+		if id, ok := ids[ps]; ok {
+			return id
+		}
+		id := int32(len(p.states))
+		ids[ps] = id
+		p.states = append(p.states, ps)
+		p.succ = append(p.succ, nil)
+		p.accepting = append(p.accepting, b.accepting[ps.q])
+		return id
+	}
+	for _, q0 := range b.initial {
+		p.initials = append(p.initials, intern(pstate{s: l.Init, q: q0}))
+	}
+	for i := 0; i < len(p.states); i++ {
+		ps := p.states[i]
+		ltrans := l.Succ(ps.s)
+		for _, be := range b.succ[ps.q] {
+			if len(ltrans) == 0 {
+				if litsOK(be.lits, 0, true) {
+					dst := intern(pstate{s: ps.s, q: be.dst})
+					p.succ[i] = append(p.succ[i], pedge{dst: dst, terminated: true})
+				}
+				continue
+			}
+			for _, tr := range ltrans {
+				if litsOK(be.lits, tr.Action, false) {
+					dst := intern(pstate{s: tr.Dst, q: be.dst})
+					p.succ[i] = append(p.succ[i], pedge{dst: dst, act: tr.Action})
+				}
+			}
+		}
+	}
+	return p
+}
+
+func (p *product) render(e pedge) string {
+	if e.terminated {
+		return Terminated
+	}
+	return p.l.Acts.Name(e.act)
+}
+
+// path finds a shortest non-empty edge path from any state in starts to
+// target, restricted to edges allowed by filter, and renders its actions.
+// With starts == {target} it finds a proper cycle.
+func (p *product) path(starts []int32, target int32, filter func(from, to int32) bool) []string {
+	type pred struct {
+		prev int32
+		edge int32
+	}
+	preds := map[int32]pred{}
+	visited := map[int32]bool{}
+	queue := append([]int32(nil), starts...)
+	for _, s := range queue {
+		visited[s] = true
+	}
+	var lastHop *pred
+	var lastFrom int32
+	for qi := 0; qi < len(queue) && lastHop == nil; qi++ {
+		u := queue[qi]
+		for ei, e := range p.succ[u] {
+			if filter != nil && !filter(u, e.dst) {
+				continue
+			}
+			if e.dst == target {
+				lastHop = &pred{prev: u, edge: int32(ei)}
+				lastFrom = u
+				break
+			}
+			if !visited[e.dst] {
+				visited[e.dst] = true
+				preds[e.dst] = pred{prev: u, edge: int32(ei)}
+				queue = append(queue, e.dst)
+			}
+		}
+	}
+	if lastHop == nil {
+		return nil
+	}
+	var rev []string
+	rev = append(rev, p.render(p.succ[lastHop.prev][lastHop.edge]))
+	cur := lastFrom
+	isStart := func(s int32) bool {
+		for _, st := range starts {
+			if st == s {
+				return true
+			}
+		}
+		return false
+	}
+	for !isStart(cur) {
+		pr := preds[cur]
+		rev = append(rev, p.render(p.succ[pr.prev][pr.edge]))
+		cur = pr.prev
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// sccs computes strongly connected components of the product graph,
+// marking components that contain a cycle (more than one state, or a
+// self-loop).
+func (p *product) sccs() (comp []int32, nontrivial []bool) {
+	n := len(p.states)
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp = make([]int32, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var (
+		stack []int32
+		callS []int32
+		callE []int32
+		next  int32
+		ncomp int32
+	)
+	selfLoop := make([]bool, n)
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callS = append(callS[:0], int32(root))
+		callE = append(callE[:0], 0)
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(callS) > 0 {
+			v := callS[len(callS)-1]
+			advanced := false
+			for ei := callE[len(callE)-1]; int(ei) < len(p.succ[v]); ei++ {
+				w := p.succ[v][ei].dst
+				if w == v {
+					selfLoop[v] = true
+				}
+				if index[w] == unvisited {
+					callE[len(callE)-1] = ei + 1
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callS = append(callS, w)
+					callE = append(callE, 0)
+					advanced = true
+					break
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			callS = callS[:len(callS)-1]
+			callE = callE[:len(callE)-1]
+			if len(callS) > 0 {
+				pp := callS[len(callS)-1]
+				if low[v] < low[pp] {
+					low[pp] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				size := 0
+				loop := false
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					size++
+					if selfLoop[w] {
+						loop = true
+					}
+					if w == v {
+						break
+					}
+				}
+				nontrivial = append(nontrivial, loop || size > 1)
+				ncomp++
+			}
+		}
+	}
+	return comp, nontrivial
+}

@@ -1,0 +1,215 @@
+package ltl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/lts"
+)
+
+func build(t *testing.T, acts *lts.Alphabet, init int, edges [][3]interface{}) *lts.LTS {
+	t.Helper()
+	b := lts.NewBuilder(acts)
+	b.SetInit(init)
+	for _, e := range edges {
+		b.Add(e[0].(int), e[1].(string), e[2].(int))
+	}
+	return b.Build()
+}
+
+func mustCheck(t *testing.T, l *lts.LTS, f *Formula) *Result {
+	t.Helper()
+	res, err := Check(l, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGloballyOnPureLoop(t *testing.T) {
+	acts := lts.NewAlphabet()
+	loop := build(t, acts, 0, [][3]interface{}{{0, "a", 0}})
+	if !mustCheck(t, loop, Globally(Atom(ActionContains("a")))).Holds {
+		t.Fatal("G a must hold on the a-loop")
+	}
+	if mustCheck(t, loop, Globally(Atom(ActionContains("b")))).Holds {
+		t.Fatal("G b must fail on the a-loop")
+	}
+
+	mixed := build(t, acts, 0, [][3]interface{}{{0, "a", 0}, {0, "b", 1}, {1, "a", 1}})
+	res := mustCheck(t, mixed, Globally(Atom(ActionContains("a"))))
+	if res.Holds {
+		t.Fatal("G a must fail once b is possible")
+	}
+	all := strings.Join(append(res.Prefix, res.Cycle...), " ")
+	if !strings.Contains(all, "b") {
+		t.Fatalf("counterexample should contain b: prefix=%v cycle=%v", res.Prefix, res.Cycle)
+	}
+	if len(res.Cycle) == 0 {
+		t.Fatal("counterexample must be a lasso")
+	}
+}
+
+func TestEventually(t *testing.T) {
+	acts := lts.NewAlphabet()
+	// May loop on a forever, or take b: F b must fail (the a-loop is a
+	// counterexample), F a must hold? No: taking b immediately gives a
+	// b-then-terminated path without any a... initial edge choices: a-loop
+	// or b to a terminal state.
+	l := build(t, acts, 0, [][3]interface{}{{0, "a", 0}, {0, "b", 1}})
+	if mustCheck(t, l, Eventually(Atom(ActionContains("b")))).Holds {
+		t.Fatal("F b fails on the execution that loops on a")
+	}
+	if mustCheck(t, l, Eventually(Atom(ActionContains("a")))).Holds {
+		t.Fatal("F a fails on the execution b;terminated")
+	}
+	if !mustCheck(t, l, Eventually(Or(Atom(ActionContains("a")), Atom(ActionContains("b"))))).Holds {
+		t.Fatal("F (a or b) holds on every execution")
+	}
+}
+
+func TestTerminatedSemantics(t *testing.T) {
+	acts := lts.NewAlphabet()
+	// One finite execution: a then stop.
+	l := build(t, acts, 0, [][3]interface{}{{0, "a", 1}})
+	if !mustCheck(t, l, Eventually(Atom(IsTerminated()))).Holds {
+		t.Fatal("the finite execution terminates")
+	}
+	if !mustCheck(t, l, Globally(Eventually(Atom(IsTerminated())))).Holds {
+		t.Fatal("GF terminated holds: termination is absorbing")
+	}
+	// An infinite tau loop never terminates.
+	div := build(t, acts, 0, [][3]interface{}{{0, lts.TauName, 0}})
+	if mustCheck(t, div, Eventually(Atom(IsTerminated()))).Holds {
+		t.Fatal("the divergent execution never terminates")
+	}
+}
+
+func TestUntilAndRelease(t *testing.T) {
+	acts := lts.NewAlphabet()
+	// a a b then stop: a U b holds; b R a fails (a not held at b?): b R a
+	// requires a until (and including) the first b-position... Release
+	// semantics: a must hold as long as b has not YET occurred, and at
+	// the position where b occurs a... (b releases a): position of b must
+	// satisfy a too — it does not here, so b R a fails, while a U b holds.
+	l := build(t, acts, 0, [][3]interface{}{{0, "a", 1}, {1, "a", 2}, {2, "b", 3}})
+	if !mustCheck(t, l, Until(Atom(ActionContains("a")), Atom(ActionContains("b")))).Holds {
+		t.Fatal("a U b must hold")
+	}
+	if mustCheck(t, l, Release(Atom(ActionContains("b")), Atom(ActionContains("a")))).Holds {
+		t.Fatal("b R a must fail at the b-position")
+	}
+	// b R a on a-loop: b never occurs, a always holds: holds.
+	loop := build(t, acts, 0, [][3]interface{}{{0, "a", 0}})
+	if !mustCheck(t, loop, Release(Atom(ActionContains("b")), Atom(ActionContains("a")))).Holds {
+		t.Fatal("b R a must hold when a holds forever")
+	}
+}
+
+func TestBooleanAlgebra(t *testing.T) {
+	acts := lts.NewAlphabet()
+	l := build(t, acts, 0, [][3]interface{}{{0, "a", 0}})
+	if !mustCheck(t, l, True()).Holds {
+		t.Fatal("true must hold")
+	}
+	if mustCheck(t, l, False()).Holds {
+		t.Fatal("false must fail")
+	}
+	if !mustCheck(t, l, Not(False())).Holds {
+		t.Fatal("!false must hold")
+	}
+	if !mustCheck(t, l, Implies(Atom(ActionContains("b")), False())).Holds {
+		t.Fatal("b -> false holds when b never occurs")
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	f := Globally(Implies(Atom(ActionContains("call")), Eventually(Atom(ActionContains("ret")))))
+	s := f.String()
+	for _, want := range []string{"G(", "F(", "act(\"call\")", "act(\"ret\")"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestLockFreedomFormulaOnHandMadeSystems(t *testing.T) {
+	acts := lts.NewAlphabet()
+	// A system that calls, spins forever: not lock-free.
+	spin := build(t, acts, 0, [][3]interface{}{
+		{0, "t1.call.Deq", 1}, {1, lts.TauName, 1},
+	})
+	res := mustCheck(t, spin, LockFreedom())
+	if res.Holds {
+		t.Fatal("the spinning system must violate GF(ret or terminated)")
+	}
+	// A call/ret then stop: lock-free.
+	fine := build(t, acts, 0, [][3]interface{}{
+		{0, "t1.call.Deq", 1}, {1, lts.TauName, 2}, {2, "t1.ret.Deq(empty)", 3},
+	})
+	if !mustCheck(t, fine, LockFreedom()).Holds {
+		t.Fatal("the terminating system is lock-free")
+	}
+}
+
+func TestMethodCompletes(t *testing.T) {
+	acts := lts.NewAlphabet()
+	// Deq call that may diverge: MethodCompletes(Deq) fails.
+	l := build(t, acts, 0, [][3]interface{}{
+		{0, "t1.call.Deq", 1}, {1, lts.TauName, 1}, {1, "t1.ret.Deq(empty)", 2},
+	})
+	if mustCheck(t, l, MethodCompletes("Deq")).Holds {
+		t.Fatal("a diverging Deq must violate MethodCompletes")
+	}
+	// Without the loop it holds.
+	ok := build(t, acts, 0, [][3]interface{}{
+		{0, "t1.call.Deq", 1}, {1, "t1.ret.Deq(empty)", 2},
+	})
+	if !mustCheck(t, ok, MethodCompletes("Deq")).Holds {
+		t.Fatal("the completing Deq satisfies MethodCompletes")
+	}
+}
+
+// TestQuickStyleConsistency checks logical laws on random systems: a
+// formula and its negation never both hold (some maximal execution always
+// exists), conjunction distributes over universal path quantification,
+// and G f entails f.
+func TestQuickStyleConsistency(t *testing.T) {
+	formulas := []*Formula{
+		Globally(Atom(ActionContains("a"))),
+		Eventually(Atom(ActionContains("b"))),
+		Until(Atom(ActionContains("a")), Atom(ActionContains("b"))),
+		Globally(Eventually(Or(Atom(ActionContains("a")), Atom(IsTerminated())))),
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		acts := lts.NewAlphabet()
+		names := []string{lts.TauName, "a", "b"}
+		n := 1 + r.Intn(6)
+		bl := lts.NewBuilder(acts)
+		bl.SetInit(0)
+		bl.AddStates(n)
+		for i := 0; i < r.Intn(2*n+1); i++ {
+			bl.Add(r.Intn(n), names[r.Intn(len(names))], r.Intn(n))
+		}
+		l := bl.Build()
+		for _, f := range formulas {
+			pos := mustCheck(t, l, f)
+			neg := mustCheck(t, l, Not(f))
+			if pos.Holds && neg.Holds {
+				t.Fatalf("seed %d: %v and its negation both hold", seed, f)
+			}
+			for _, g := range formulas {
+				both := mustCheck(t, l, And(f, g))
+				if both.Holds != (pos.Holds && mustCheck(t, l, g).Holds) {
+					t.Fatalf("seed %d: conjunction law broken for %v && %v", seed, f, g)
+				}
+			}
+		}
+		gf := Globally(Atom(ActionContains("a")))
+		if mustCheck(t, l, gf).Holds && !mustCheck(t, l, Atom(ActionContains("a"))).Holds {
+			t.Fatalf("seed %d: G a holds but a fails", seed)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package lts provides labeled transition systems (LTSs) for concurrent
+// object verification: action interning, compact transition storage,
+// reachability, τ-SCC analysis and path diagnostics.
+//
+// An LTS follows Definition 2.1 of the paper: states, an action set
+// containing call actions, return actions and the internal action τ, a
+// transition relation and an initial state. Only the internal action is
+// special to the algorithms in sibling packages; it always has action ID
+// Tau (0).
+package lts
+
+// Tau is the action ID of the internal (invisible) action τ. Every
+// Alphabet reserves ID 0 for it.
+const Tau ActionID = 0
+
+// TauName is the display name of the internal action.
+const TauName = "tau"
+
+// ActionID identifies an interned action within an Alphabet.
+type ActionID int32
+
+// Alphabet interns action names to dense integer IDs so transitions can
+// store 4-byte action references. ID 0 is always the internal action τ.
+//
+// An Alphabet may be shared between several LTSs; sharing is required when
+// two systems are compared (bisimulation, trace refinement), because the
+// comparison algorithms match actions by ID. Alphabet is not safe for
+// concurrent mutation.
+type Alphabet struct {
+	ids   map[string]ActionID
+	names []string
+}
+
+// NewAlphabet returns an alphabet containing only τ.
+func NewAlphabet() *Alphabet {
+	a := &Alphabet{ids: make(map[string]ActionID)}
+	a.ids[TauName] = Tau
+	a.names = append(a.names, TauName)
+	return a
+}
+
+// ID interns name and returns its ID. Interning the τ name returns Tau.
+func (a *Alphabet) ID(name string) ActionID {
+	if id, ok := a.ids[name]; ok {
+		return id
+	}
+	id := ActionID(len(a.names))
+	a.ids[name] = id
+	a.names = append(a.names, name)
+	return id
+}
+
+// Lookup returns the ID for name without interning it.
+func (a *Alphabet) Lookup(name string) (ActionID, bool) {
+	id, ok := a.ids[name]
+	return id, ok
+}
+
+// Name returns the display name of id.
+func (a *Alphabet) Name(id ActionID) string { return a.names[id] }
+
+// Len returns the number of interned actions, including τ.
+func (a *Alphabet) Len() int { return len(a.names) }
+
+// IsTau reports whether id is the internal action.
+func IsTau(id ActionID) bool { return id == Tau }

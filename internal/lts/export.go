@@ -1,0 +1,52 @@
+package lts
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the LTS in Graphviz DOT format. τ transitions are drawn
+// dashed; diagnostic labels are appended in brackets. Intended for small
+// systems and quotients.
+func WriteDOT(w io.Writer, l *LTS, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name)
+	fmt.Fprintf(bw, "  init [shape=point];\n  init -> %d;\n", l.Init)
+	for s := 0; s < l.NumStates(); s++ {
+		for _, t := range l.Succ(int32(s)) {
+			lbl := l.Acts.Name(t.Action)
+			if d := l.LabelName(t.Label); d != "" {
+				lbl += " [" + d + "]"
+			}
+			style := ""
+			if IsTau(t.Action) {
+				style = ", style=dashed"
+			}
+			fmt.Fprintf(bw, "  %d -> %d [label=%q%s];\n", s, t.Dst, lbl, style)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteAUT renders the LTS in the Aldebaran (.aut) format used by CADP:
+//
+//	des (initial-state, number-of-transitions, number-of-states)
+//	(from, "label", to)
+//
+// τ transitions use the label "i" as CADP does.
+func WriteAUT(w io.Writer, l *LTS) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "des (%d, %d, %d)\n", l.Init, l.NumTransitions(), l.NumStates())
+	for s := 0; s < l.NumStates(); s++ {
+		for _, t := range l.Succ(int32(s)) {
+			name := l.Acts.Name(t.Action)
+			if IsTau(t.Action) {
+				name = "i"
+			}
+			fmt.Fprintf(bw, "(%d, %q, %d)\n", s, name, t.Dst)
+		}
+	}
+	return bw.Flush()
+}

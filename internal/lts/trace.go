@@ -1,0 +1,49 @@
+package lts
+
+// HasTrace reports whether the system can produce the given sequence of
+// visible actions (in the weak sense: any number of τ steps may occur
+// between them). Histories are prefix-closed, so this decides membership
+// of a history in the system's trace set — useful for replaying
+// counterexamples produced by the refinement checker.
+func HasTrace(l *LTS, trace []string) bool {
+	cur := map[int32]bool{l.Init: true}
+	closeTau(l, cur)
+	for _, name := range trace {
+		id, ok := l.Acts.Lookup(name)
+		if !ok {
+			return false
+		}
+		next := map[int32]bool{}
+		for s := range cur {
+			for _, tr := range l.Succ(s) {
+				if tr.Action == id {
+					next[tr.Dst] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		closeTau(l, next)
+		cur = next
+	}
+	return true
+}
+
+// closeTau expands set with everything reachable via τ steps.
+func closeTau(l *LTS, set map[int32]bool) {
+	stack := make([]int32, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, tr := range l.Succ(s) {
+			if IsTau(tr.Action) && !set[tr.Dst] {
+				set[tr.Dst] = true
+				stack = append(stack, tr.Dst)
+			}
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/lts"
+)
+
+// DefaultMaxStates bounds exploration when Options.MaxStates is zero.
+const DefaultMaxStates = 2_000_000
+
+// StateLimitError reports that exploration exceeded its state budget.
+type StateLimitError struct {
+	Program string
+	Limit   int
+}
+
+// Error implements the error interface.
+func (e *StateLimitError) Error() string {
+	return fmt.Sprintf("machine: %s: state space exceeds limit of %d states", e.Program, e.Limit)
+}
+
+// Options configures state-space generation.
+type Options struct {
+	// Threads is the number of most-general-client threads (k in the
+	// paper's #Th column).
+	Threads int
+	// Ops is the number of operations each thread may perform (#Op).
+	Ops int
+	// MaxStates bounds the exploration; 0 means DefaultMaxStates.
+	MaxStates int
+	// Acts supplies a shared action alphabet so that several systems
+	// (object, specification, abstraction) can be compared; nil allocates
+	// a fresh one.
+	Acts *lts.Alphabet
+	// Labels supplies a shared diagnostic-label alphabet; nil allocates.
+	Labels *lts.Alphabet
+}
+
+// Info carries by-products of an exploration.
+type Info struct {
+	// Deadlocks lists the reachable states that have no outgoing
+	// transition although some thread still has work (a pending method or
+	// remaining operations). A lock-based object that can block all
+	// clients forever shows up here; the all-operations-completed
+	// terminal states do not.
+	Deadlocks []int32
+}
+
+// Explore generates the LTS of the program under most general clients:
+// every reachable interleaving of Threads clients each performing up to
+// Ops method invocations, with every method and argument choice.
+//
+// Call and return actions are visible; every statement execution is a τ
+// transition labeled (for diagnostics) with "t<i>.<stmt label>".
+func Explore(p *Program, opt Options) (*lts.LTS, error) {
+	l, _, err := ExploreWithInfo(p, opt)
+	return l, err
+}
+
+// ExploreWithInfo is Explore plus deadlock information.
+func ExploreWithInfo(p *Program, opt Options) (*lts.LTS, *Info, error) {
+	if err := validateOptions(p, opt); err != nil {
+		return nil, nil, err
+	}
+	limit := opt.MaxStates
+	if limit <= 0 {
+		limit = DefaultMaxStates
+	}
+	acts := opt.Acts
+	if acts == nil {
+		acts = lts.NewAlphabet()
+	}
+	labels := opt.Labels
+	if labels == nil {
+		labels = lts.NewAlphabet()
+	}
+
+	e := &explorer{
+		prog:     p,
+		opt:      opt,
+		acts:     acts,
+		labels:   labels,
+		actCache: make(map[int64]lts.ActionID),
+		lblCache: make(map[int64]lts.LabelID),
+		ids:      make(map[string]int32),
+		canon:    newCanonicalizer(p, p.HeapCap+1),
+	}
+	return e.run(limit)
+}
+
+// validation helpers live on the option struct so both entry points share
+// them.
+func validateOptions(p *Program, opt Options) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if opt.Threads <= 0 || opt.Ops <= 0 {
+		return fmt.Errorf("machine: %s: Threads and Ops must be positive", p.Name)
+	}
+	return nil
+}
+
+type explorer struct {
+	prog     *Program
+	opt      Options
+	acts     *lts.Alphabet
+	labels   *lts.Alphabet
+	actCache map[int64]lts.ActionID
+	lblCache map[int64]lts.LabelID
+	ids      map[string]int32
+	keys     []string
+	canon    *canonicalizer
+	buf      []byte
+	// Scratch states reused across transitions to keep the hot path
+	// allocation-free: work holds the statement's mutated copy of the
+	// current state, succ the per-outcome successor handed to the
+	// canonicalizer (which rewrites it in place).
+	work, succ *state
+	ctx        Ctx
+}
+
+// actKey packs (call?, thread, method, value) for the action cache.
+func actKey(call bool, t, m int, v int32) int64 {
+	k := int64(t)<<40 | int64(m)<<32 | int64(uint32(v))
+	if call {
+		k |= 1 << 62
+	}
+	return k
+}
+
+func (e *explorer) callAction(t, m int) func(arg int32) lts.ActionID {
+	return func(arg int32) lts.ActionID {
+		k := actKey(true, t, m, arg)
+		if id, ok := e.actCache[k]; ok {
+			return id
+		}
+		meth := &e.prog.Methods[m]
+		var name string
+		if meth.Args == nil {
+			name = fmt.Sprintf("t%d.call.%s", t+1, meth.Name)
+		} else {
+			format := e.prog.FormatArg
+			argStr := ""
+			if format != nil {
+				argStr = format(meth, arg)
+			} else {
+				argStr = FormatValue(arg)
+			}
+			name = fmt.Sprintf("t%d.call.%s(%s)", t+1, meth.Name, argStr)
+		}
+		id := e.acts.ID(name)
+		e.actCache[k] = id
+		return id
+	}
+}
+
+func (e *explorer) retAction(t, m int, ret int32) lts.ActionID {
+	k := actKey(false, t, m, ret)
+	if id, ok := e.actCache[k]; ok {
+		return id
+	}
+	meth := &e.prog.Methods[m]
+	format := e.prog.FormatRet
+	var retStr string
+	if format != nil {
+		retStr = format(meth, ret)
+	} else {
+		retStr = FormatValue(ret)
+	}
+	name := fmt.Sprintf("t%d.ret.%s(%s)", t+1, meth.Name, retStr)
+	id := e.acts.ID(name)
+	e.actCache[k] = id
+	return id
+}
+
+func (e *explorer) stmtLabel(t, m, pc int) lts.LabelID {
+	k := int64(t)<<40 | int64(m)<<16 | int64(pc)
+	if id, ok := e.lblCache[k]; ok {
+		return id
+	}
+	stmt := &e.prog.Methods[m].Body[pc]
+	lbl := stmt.Label
+	if lbl == "" {
+		lbl = fmt.Sprintf("%s.%d", e.prog.Methods[m].Name, pc)
+	}
+	id := lts.LabelID(e.labels.ID(fmt.Sprintf("t%d.%s", t+1, lbl)))
+	e.lblCache[k] = id
+	return id
+}
+
+// internState canonicalizes, encodes and interns st, returning its ID.
+func (e *explorer) internState(st *state) int32 {
+	e.canon.run(st)
+	e.buf = encode(e.buf[:0], st)
+	if id, ok := e.ids[string(e.buf)]; ok {
+		return id
+	}
+	id := int32(len(e.keys))
+	key := string(e.buf)
+	e.ids[key] = id
+	e.keys = append(e.keys, key)
+	return id
+}
+
+func (e *explorer) newState() *state {
+	p := e.prog
+	st := &state{
+		g:  &Global{Vars: make([]int32, len(p.Globals.Names)), Heap: make([]Node, p.HeapCap+1)},
+		th: make([]thread, e.opt.Threads),
+	}
+	for i := range st.th {
+		st.th[i].locals = make([]int32, p.NLocals)
+	}
+	return st
+}
+
+func (e *explorer) run(limit int) (*lts.LTS, *Info, error) {
+	p := e.prog
+	init := e.newState()
+	if p.Init != nil {
+		p.Init(init.g)
+	}
+	for i := range init.th {
+		init.th[i].ops = int32(e.opt.Ops)
+	}
+	e.internState(init)
+
+	info := &Info{}
+	csr := lts.NewCSRBuilder(e.acts, e.labels)
+	cur := e.newState()
+	e.work = e.newState()
+	e.succ = e.newState()
+	for si := 0; si < len(e.keys); si++ {
+		if len(e.keys) > limit {
+			return nil, nil, &StateLimitError{Program: p.Name, Limit: limit}
+		}
+		decodeKey(e.keys[si], cur)
+		if err := csr.BeginState(int32(si)); err != nil {
+			return nil, nil, err
+		}
+		emitted := 0
+		for t := range cur.th {
+			emitted += e.emitThread(csr, cur, t)
+		}
+		if emitted == 0 && !allDone(cur) {
+			info.Deadlocks = append(info.Deadlocks, int32(si))
+		}
+	}
+	return csr.Build(len(e.keys), 0), info, nil
+}
+
+// allDone reports whether every thread is idle with no operations left —
+// the legitimate terminal states of a bounded most-general client.
+func allDone(st *state) bool {
+	for i := range st.th {
+		if st.th[i].status != statusIdle || st.th[i].ops != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// decode from string key: state.go's decode takes []byte; strings index
+// byte-wise, so convert without copy via a helper.
+func decodeKey(key string, st *state) { decode([]byte(key), st) }
+
+// emitThread appends all transitions of thread t from state cur,
+// returning how many it emitted.
+func (e *explorer) emitThread(csr *lts.CSRBuilder, cur *state, t int) int {
+	p := e.prog
+	emitted := 0
+	th := &cur.th[t]
+	switch th.status {
+	case statusIdle:
+		if th.ops == 0 {
+			return 0
+		}
+		for mi := range p.Methods {
+			mkAct := e.callAction(t, mi)
+			args := p.Methods[mi].Args
+			if args == nil {
+				args = []int32{0}
+			}
+			for _, arg := range args {
+				cur.copyInto(e.succ)
+				nt := &e.succ.th[t]
+				nt.status = statusRunning
+				nt.method = int32(mi)
+				nt.arg = arg
+				nt.pc = 0
+				nt.ops--
+				for i := range nt.locals {
+					nt.locals[i] = 0
+				}
+				dst := e.internState(e.succ)
+				csr.Emit(mkAct(arg), lts.NoLabel, dst)
+				emitted++
+			}
+		}
+	case statusRunning:
+		mi := int(th.method)
+		pc := int(th.pc)
+		stmt := &p.Methods[mi].Body[pc]
+		// The statement runs on the reusable work copy; its (shared)
+		// mutations are visible to every outcome, per the Stmt contract.
+		cur.copyInto(e.work)
+		e.ctx = Ctx{
+			T:    t,
+			Arg:  th.arg,
+			G:    e.work.g,
+			L:    e.work.th[t].locals,
+			outs: e.ctx.outs[:0],
+		}
+		stmt.Exec(&e.ctx)
+		label := e.stmtLabel(t, mi, pc)
+		for _, out := range e.ctx.outs {
+			e.work.copyInto(e.succ)
+			nt := &e.succ.th[t]
+			if out.pc < 0 {
+				nt.status = statusReturning
+				nt.ret = out.ret
+				nt.pc = 0
+				nt.arg = 0
+				for i := range nt.locals {
+					nt.locals[i] = 0
+				}
+			} else {
+				if int(out.pc) >= len(p.Methods[mi].Body) {
+					panic(fmt.Sprintf("machine: %s.%s: goto %d beyond body", p.Name, p.Methods[mi].Name, out.pc))
+				}
+				nt.pc = out.pc
+			}
+			dst := e.internState(e.succ)
+			csr.Emit(lts.Tau, label, dst)
+			emitted++
+		}
+	case statusReturning:
+		cur.copyInto(e.succ)
+		nt := &e.succ.th[t]
+		mi := int(th.method)
+		ret := th.ret
+		nt.status = statusIdle
+		nt.method = 0
+		nt.ret = 0
+		dst := e.internState(e.succ)
+		csr.Emit(e.retAction(t, mi, ret), lts.NoLabel, dst)
+		emitted++
+	}
+	return emitted
+}

@@ -1,0 +1,220 @@
+// Package refine decides trace refinement (Definition 2.2 of the paper)
+// between two labeled transition systems: Δ₁ ⊑tr Δ₂ iff every trace of Δ₁
+// is a trace of Δ₂. By Theorem 2.3 this captures linearizability when Δ₂
+// is the linearizable specification; by Theorem 5.3 it may equivalently —
+// and far more cheaply — be checked on branching-bisimulation quotients.
+//
+// The check runs an on-the-fly subset construction: it pairs each state of
+// the left system with the τ-closed set of specification states that can
+// exhibit the same history, and reports a counterexample history as soon
+// as some visible action of the left system has no match.
+package refine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lts"
+)
+
+// Counterexample is a history (sequence of visible actions) of the left
+// system that the right system cannot produce. The last action is the one
+// the right system could not match.
+type Counterexample struct {
+	Trace []string
+}
+
+// Format renders the counterexample one action per line.
+func (c *Counterexample) Format() string {
+	var sb strings.Builder
+	sb.WriteString("<initial state>\n")
+	for i, a := range c.Trace {
+		if i == len(c.Trace)-1 {
+			fmt.Fprintf(&sb, "%q   <-- not allowed by the specification\n", a)
+		} else {
+			fmt.Fprintf(&sb, "%q\n", a)
+		}
+	}
+	return sb.String()
+}
+
+// Result is the outcome of a trace-inclusion check.
+type Result struct {
+	// Included reports whether every trace of the left system is a trace
+	// of the right system.
+	Included bool
+	// Counterexample is nil iff Included.
+	Counterexample *Counterexample
+	// PairsExplored counts explored (state, macrostate) pairs, a measure
+	// of the work the subset construction performed.
+	PairsExplored int
+}
+
+// macroTable interns τ-closed sets of specification states.
+type macroTable struct {
+	ids  map[string]int32
+	sets [][]int32
+	buf  []byte
+}
+
+func newMacroTable() *macroTable {
+	return &macroTable{ids: make(map[string]int32)}
+}
+
+func (t *macroTable) intern(set []int32) int32 {
+	t.buf = t.buf[:0]
+	for _, s := range set {
+		t.buf = binary.LittleEndian.AppendUint32(t.buf, uint32(s))
+	}
+	if id, ok := t.ids[string(t.buf)]; ok {
+		return id
+	}
+	id := int32(len(t.sets))
+	t.ids[string(t.buf)] = id
+	t.sets = append(t.sets, set)
+	return id
+}
+
+// tauClose expands set (sorted or not) with everything reachable via τ in
+// l, returning a sorted deduplicated slice.
+func tauClose(l *lts.LTS, set []int32, mark []int32, stamp int32) []int32 {
+	var out, stack []int32
+	for _, s := range set {
+		if mark[s] != stamp {
+			mark[s] = stamp
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, s)
+		for _, tr := range l.Succ(s) {
+			if lts.IsTau(tr.Action) && mark[tr.Dst] != stamp {
+				mark[tr.Dst] = stamp
+				stack = append(stack, tr.Dst)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TraceInclusion checks impl ⊑tr spec. Both systems must share one
+// Alphabet so that action IDs coincide.
+func TraceInclusion(impl, spec *lts.LTS) (*Result, error) {
+	if impl.Acts != spec.Acts {
+		return nil, errors.New("refine: trace inclusion requires a shared alphabet")
+	}
+	type pair struct {
+		state int32
+		macro int32
+	}
+	macros := newMacroTable()
+	mark := make([]int32, spec.NumStates())
+	for i := range mark {
+		mark[i] = -1
+	}
+	stamp := int32(0)
+	closeSet := func(set []int32) []int32 {
+		s := tauClose(spec, set, mark, stamp)
+		stamp++
+		return s
+	}
+
+	initMacro := macros.intern(closeSet([]int32{spec.Init}))
+	start := pair{state: impl.Init, macro: initMacro}
+
+	key := func(p pair) int64 { return int64(p.state)<<32 | int64(uint32(p.macro)) }
+	type parentRec struct {
+		parent int64
+		act    lts.ActionID
+	}
+	parents := map[int64]parentRec{key(start): {parent: -1, act: lts.Tau}}
+	queue := []pair{start}
+	// succCache memoizes macro transitions: (macro, action) -> macro or -1.
+	succCache := make(map[int64]int32)
+	explored := 0
+
+	buildTrace := func(k int64, failing lts.ActionID) *Counterexample {
+		var rev []string
+		rev = append(rev, impl.Acts.Name(failing))
+		for k != -1 {
+			rec := parents[k]
+			if !lts.IsTau(rec.act) && rec.parent != -1 {
+				rev = append(rev, impl.Acts.Name(rec.act))
+			}
+			k = rec.parent
+		}
+		trace := make([]string, len(rev))
+		for i := range rev {
+			trace[i] = rev[len(rev)-1-i]
+		}
+		return &Counterexample{Trace: trace}
+	}
+
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		explored++
+		pk := key(p)
+		for _, tr := range impl.Succ(p.state) {
+			var nextMacro int32
+			if lts.IsTau(tr.Action) {
+				nextMacro = p.macro
+			} else {
+				ck := int64(p.macro)<<32 | int64(uint32(tr.Action))
+				m, ok := succCache[ck]
+				if !ok {
+					var dsts []int32
+					for _, ss := range macros.sets[p.macro] {
+						for _, str := range spec.Succ(ss) {
+							if str.Action == tr.Action {
+								dsts = append(dsts, str.Dst)
+							}
+						}
+					}
+					if len(dsts) == 0 {
+						m = -1
+					} else {
+						m = macros.intern(closeSet(dsts))
+					}
+					succCache[ck] = m
+				}
+				if m == -1 {
+					return &Result{
+						Included:       false,
+						Counterexample: buildTrace(pk, tr.Action),
+						PairsExplored:  explored,
+					}, nil
+				}
+				nextMacro = m
+			}
+			np := pair{state: tr.Dst, macro: nextMacro}
+			nk := key(np)
+			if _, seen := parents[nk]; !seen {
+				parents[nk] = parentRec{parent: pk, act: tr.Action}
+				queue = append(queue, np)
+			}
+		}
+	}
+	return &Result{Included: true, PairsExplored: explored}, nil
+}
+
+// TraceEquivalent checks mutual trace inclusion. When the systems are not
+// trace equivalent, the returned Result of the failing direction carries
+// the counterexample; leftInRight corresponds to a ⊑tr b.
+func TraceEquivalent(a, b *lts.LTS) (equal bool, leftInRight, rightInLeft *Result, err error) {
+	leftInRight, err = TraceInclusion(a, b)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	rightInLeft, err = TraceInclusion(b, a)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	return leftInRight.Included && rightInLeft.Included, leftInRight, rightInLeft, nil
+}

@@ -1,0 +1,135 @@
+package refine
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/lts"
+)
+
+// WeakSimulation decides whether spec weakly simulates impl: there is a
+// relation R with (init, init) ∈ R such that whenever (s, t) ∈ R,
+//
+//   - s --τ--> s' implies t ⇒ t' with (s', t') ∈ R, and
+//   - s --a--> s' (a visible) implies t ⇒ --a--> ⇒ t' with (s', t') ∈ R.
+//
+// Weak simulation is a sound, polynomial-time approximation of trace
+// inclusion (Definition 2.2): if spec weakly simulates impl then every
+// trace of impl is a trace of spec — so a positive answer proves
+// linearizability (Theorem 2.3) without the PSPACE subset construction.
+// A negative answer is inconclusive for nondeterministic specifications;
+// fall back to TraceInclusion then.
+//
+// The computation is the standard greatest-fixpoint refinement over the
+// full relation, using memoized weak transition targets of spec.
+func WeakSimulation(impl, spec *lts.LTS) (bool, error) {
+	if impl.Acts != spec.Acts {
+		return false, errors.New("refine: weak simulation requires a shared alphabet")
+	}
+	ns, nt := impl.NumStates(), spec.NumStates()
+
+	// tauClosure[t] = states reachable from t via τ*, sorted.
+	tauClosure := closures(spec)
+	// weakSucc memoizes t =a=> targets: closure(a-successors of closure(t)).
+	type key struct {
+		t int32
+		a lts.ActionID
+	}
+	weakSucc := make(map[key][]int32)
+	weakTargets := func(t int32, a lts.ActionID) []int32 {
+		k := key{t, a}
+		if out, ok := weakSucc[k]; ok {
+			return out
+		}
+		seen := map[int32]bool{}
+		var out []int32
+		for _, u := range tauClosure[t] {
+			for _, tr := range spec.Succ(u) {
+				if tr.Action != a {
+					continue
+				}
+				for _, v := range tauClosure[tr.Dst] {
+					if !seen[v] {
+						seen[v] = true
+						out = append(out, v)
+					}
+				}
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		weakSucc[k] = out
+		return out
+	}
+
+	// rel[s*nt+t] reports whether (s, t) is still considered related.
+	rel := make([]bool, ns*nt)
+	for i := range rel {
+		rel[i] = true
+	}
+	related := func(s, t int32) bool { return rel[int(s)*nt+int(t)] }
+
+	// Greatest fixpoint: repeatedly remove pairs whose transfer fails.
+	for changed := true; changed; {
+		changed = false
+		for s := int32(0); s < int32(ns); s++ {
+			for t := int32(0); t < int32(nt); t++ {
+				if !related(s, t) {
+					continue
+				}
+				ok := true
+				for _, tr := range impl.Succ(s) {
+					matched := false
+					if lts.IsTau(tr.Action) {
+						for _, v := range tauClosure[t] {
+							if related(tr.Dst, v) {
+								matched = true
+								break
+							}
+						}
+					} else {
+						for _, v := range weakTargets(t, tr.Action) {
+							if related(tr.Dst, v) {
+								matched = true
+								break
+							}
+						}
+					}
+					if !matched {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					rel[int(s)*nt+int(t)] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return related(impl.Init, spec.Init), nil
+}
+
+// closures returns the τ-closure of every state of l, sorted.
+func closures(l *lts.LTS) [][]int32 {
+	n := l.NumStates()
+	out := make([][]int32, n)
+	for s := 0; s < n; s++ {
+		seen := map[int32]bool{int32(s): true}
+		stack := []int32{int32(s)}
+		var cl []int32
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cl = append(cl, u)
+			for _, tr := range l.Succ(u) {
+				if lts.IsTau(tr.Action) && !seen[tr.Dst] {
+					seen[tr.Dst] = true
+					stack = append(stack, tr.Dst)
+				}
+			}
+		}
+		sort.Slice(cl, func(i, j int) bool { return cl[i] < cl[j] })
+		out[s] = cl
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lts"
+)
+
+func TestWeakSimulationBasics(t *testing.T) {
+	acts := lts.NewAlphabet()
+	impl := build(t, acts, 0, [][3]interface{}{
+		{0, lts.TauName, 1}, {1, "a", 2},
+	})
+	spec := build(t, acts, 0, [][3]interface{}{
+		{0, "a", 1}, {0, "b", 2},
+	})
+	sim, err := WeakSimulation(impl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim {
+		t.Fatal("spec must weakly simulate tau;a")
+	}
+	rev, err := WeakSimulation(spec, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev {
+		t.Fatal("impl cannot simulate the b branch")
+	}
+}
+
+func TestWeakSimulationNeedsSharedAlphabet(t *testing.T) {
+	a := build(t, lts.NewAlphabet(), 0, nil)
+	b := build(t, lts.NewAlphabet(), 0, nil)
+	if _, err := WeakSimulation(a, b); err == nil {
+		t.Fatal("expected alphabet error")
+	}
+}
+
+// TestWeakSimulationInconclusiveCase: simulation can fail where trace
+// inclusion holds (the classic a.(b+c) vs a.b + a.c direction).
+func TestWeakSimulationInconclusiveCase(t *testing.T) {
+	acts := lts.NewAlphabet()
+	impl := build(t, acts, 0, [][3]interface{}{
+		{0, "a", 1}, {1, "b", 2}, {1, "c", 3},
+	})
+	spec := build(t, acts, 0, [][3]interface{}{
+		{0, "a", 1}, {0, "a", 2}, {1, "b", 3}, {2, "c", 4},
+	})
+	sim, err := WeakSimulation(impl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim {
+		t.Fatal("a.(b+c) is not simulated by a.b + a.c")
+	}
+	res, err := TraceInclusion(impl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Included {
+		t.Fatal("trace inclusion holds nevertheless")
+	}
+}
+
+// TestQuickSimulationSoundForInclusion: on random systems, a positive
+// weak-simulation answer always implies trace inclusion.
+func TestQuickSimulationSoundForInclusion(t *testing.T) {
+	names := []string{lts.TauName, "a", "b"}
+	positives := 0
+	for seed := int64(0); seed < 120; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		acts := lts.NewAlphabet()
+		a := randomLTS(r, acts, 2+r.Intn(6), 1+r.Intn(10), names)
+		b := randomLTS(r, acts, 2+r.Intn(6), 1+r.Intn(10), names)
+		sim, err := WeakSimulation(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sim {
+			continue
+		}
+		positives++
+		res, err := TraceInclusion(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Included {
+			t.Fatalf("seed %d: simulation held but inclusion failed with %v", seed, res.Counterexample.Trace)
+		}
+	}
+	if positives == 0 {
+		t.Fatal("test vacuous: no positive simulation cases sampled")
+	}
+}
+
+// TestQuickSimulationReflexive: every system weakly simulates itself.
+func TestQuickSimulationReflexive(t *testing.T) {
+	names := []string{lts.TauName, "a", "b"}
+	for seed := int64(200); seed < 230; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		acts := lts.NewAlphabet()
+		l := randomLTS(r, acts, 2+r.Intn(6), 1+r.Intn(10), names)
+		sim, err := WeakSimulation(l, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sim {
+			t.Fatalf("seed %d: weak simulation not reflexive", seed)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package spec builds linearizable specifications (Section II.C of the
+// paper): object programs whose method bodies are a single atomic block
+// computing the sequential semantics. A method execution in a
+// specification is exactly call → τ → return.
+//
+// Specifications and concrete implementations must agree on method names,
+// argument sets and value rendering so that their visible actions coincide
+// literally; the argument-encoding helpers here are shared by both sides.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// PairArgs enumerates (exp, new) argument pairs over the binary domain
+// for the CAS-family operations: (0,1) and (1,0).
+func PairArgs() []int32 {
+	return []int32{EncodePair(0, 1), EncodePair(1, 0)}
+}
+
+// EncodePair packs an (exp, new) pair over {0,1} into one argument value.
+func EncodePair(exp, val int32) int32 { return exp*2 + val }
+
+// DecodePair unpacks an (exp, new) argument.
+func DecodePair(arg int32) (exp, val int32) { return arg / 2, arg % 2 }
+
+// FormatPair renders an (exp, new) argument.
+func FormatPair(_ *machine.Method, arg int32) string {
+	e, v := DecodePair(arg)
+	return fmt.Sprintf("%d,%d", e, v)
+}
+
+// TripleArgs enumerates RDCSS (o1, o2, n2) triples over {0,1} with
+// o2 != n2 (a no-op write adds states without adding behaviours).
+func TripleArgs() []int32 {
+	var out []int32
+	for _, o1 := range []int32{0, 1} {
+		for _, o2 := range []int32{0, 1} {
+			out = append(out, EncodeTriple(o1, o2, 1-o2))
+		}
+	}
+	return out
+}
+
+// EncodeTriple packs an RDCSS (o1, o2, n2) triple over {0,1}.
+func EncodeTriple(o1, o2, n2 int32) int32 { return o1*4 + o2*2 + n2 }
+
+// DecodeTriple unpacks an RDCSS triple argument.
+func DecodeTriple(arg int32) (o1, o2, n2 int32) { return arg / 4, (arg / 2) % 2, arg % 2 }
+
+// FormatTriple renders an RDCSS triple argument.
+func FormatTriple(_ *machine.Method, arg int32) string {
+	o1, o2, n2 := DecodeTriple(arg)
+	return fmt.Sprintf("%d,%d,%d", o1, o2, n2)
+}
+
+// boolRet renders boolean-returning methods ("true"/"false").
+func boolRet(names ...string) func(m *machine.Method, ret int32) string {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return func(m *machine.Method, ret int32) string {
+		if set[m.Name] {
+			return machine.FormatBool(ret)
+		}
+		return machine.FormatValue(ret)
+	}
+}
+
+// Queue returns the linearizable specification of a FIFO queue holding
+// values vals, with capacity cap slots (size it to threads×ops so
+// enqueues never overflow). Methods: Enq(v) → ok, Deq() → value | empty.
+func Queue(vals []int32, capacity int) *machine.Program {
+	names := make([]string, capacity+1)
+	kinds := make([]machine.VarKind, capacity+1)
+	for i := 0; i < capacity; i++ {
+		names[i] = fmt.Sprintf("q%d", i)
+		kinds[i] = machine.KVal
+	}
+	names[capacity] = "len"
+	kinds[capacity] = machine.KVal
+	return &machine.Program{
+		Name:    "queue-spec",
+		Globals: machine.Schema{Names: names, Kinds: kinds},
+		Methods: []machine.Method{
+			{
+				Name: "Enq",
+				Args: vals,
+				Body: []machine.Stmt{{
+					Label: "enq",
+					Exec: func(c *machine.Ctx) {
+						n := c.V(capacity)
+						if int(n) >= capacity {
+							panic("spec: queue capacity exceeded; size it to threads*ops")
+						}
+						c.SetV(int(n), c.Arg)
+						c.SetV(capacity, n+1)
+						c.Return(machine.ValOK)
+					},
+				}},
+			},
+			{
+				Name: "Deq",
+				Body: []machine.Stmt{{
+					Label: "deq",
+					Exec: func(c *machine.Ctx) {
+						n := c.V(capacity)
+						if n == 0 {
+							c.Return(machine.ValEmpty)
+							return
+						}
+						v := c.V(0)
+						for i := 1; i < int(n); i++ {
+							c.SetV(i-1, c.V(i))
+						}
+						c.SetV(int(n)-1, 0)
+						c.SetV(capacity, n-1)
+						c.Return(v)
+					},
+				}},
+			},
+		},
+	}
+}
+
+// Stack returns the linearizable specification of a LIFO stack.
+// Methods: Push(v) → ok, Pop() → value | empty.
+func Stack(vals []int32, capacity int) *machine.Program {
+	names := make([]string, capacity+1)
+	kinds := make([]machine.VarKind, capacity+1)
+	for i := 0; i < capacity; i++ {
+		names[i] = fmt.Sprintf("s%d", i)
+		kinds[i] = machine.KVal
+	}
+	names[capacity] = "len"
+	kinds[capacity] = machine.KVal
+	return &machine.Program{
+		Name:    "stack-spec",
+		Globals: machine.Schema{Names: names, Kinds: kinds},
+		Methods: []machine.Method{
+			{
+				Name: "Push",
+				Args: vals,
+				Body: []machine.Stmt{{
+					Label: "push",
+					Exec: func(c *machine.Ctx) {
+						n := c.V(capacity)
+						if int(n) >= capacity {
+							panic("spec: stack capacity exceeded; size it to threads*ops")
+						}
+						c.SetV(int(n), c.Arg)
+						c.SetV(capacity, n+1)
+						c.Return(machine.ValOK)
+					},
+				}},
+			},
+			{
+				Name: "Pop",
+				Body: []machine.Stmt{{
+					Label: "pop",
+					Exec: func(c *machine.Ctx) {
+						n := c.V(capacity)
+						if n == 0 {
+							c.Return(machine.ValEmpty)
+							return
+						}
+						v := c.V(int(n) - 1)
+						c.SetV(int(n)-1, 0)
+						c.SetV(capacity, n-1)
+						c.Return(v)
+					},
+				}},
+			},
+		},
+	}
+}
+
+// SetMethods selects which methods a set specification (and its matching
+// implementations) expose.
+type SetMethods struct {
+	Contains bool
+}
+
+// Set returns the linearizable specification of an integer set over the
+// key universe keys. Methods: Add(k) → bool, Remove(k) → bool and,
+// optionally, Contains(k) → bool.
+func Set(keys []int32, opts SetMethods) *machine.Program {
+	names := make([]string, len(keys))
+	kinds := make([]machine.VarKind, len(keys))
+	idx := make(map[int32]int, len(keys))
+	for i, k := range keys {
+		names[i] = fmt.Sprintf("m%d", k)
+		kinds[i] = machine.KVal
+		idx[k] = i
+	}
+	slot := func(c *machine.Ctx) int {
+		i, ok := idx[c.Arg]
+		if !ok {
+			panic(fmt.Sprintf("spec: key %d outside universe", c.Arg))
+		}
+		return i
+	}
+	methods := []machine.Method{
+		{
+			Name: "Add",
+			Args: keys,
+			Body: []machine.Stmt{{
+				Label: "add",
+				Exec: func(c *machine.Ctx) {
+					i := slot(c)
+					if c.V(i) == 1 {
+						c.Return(machine.ValFalse)
+						return
+					}
+					c.SetV(i, 1)
+					c.Return(machine.ValTrue)
+				},
+			}},
+		},
+		{
+			Name: "Remove",
+			Args: keys,
+			Body: []machine.Stmt{{
+				Label: "remove",
+				Exec: func(c *machine.Ctx) {
+					i := slot(c)
+					if c.V(i) == 0 {
+						c.Return(machine.ValFalse)
+						return
+					}
+					c.SetV(i, 0)
+					c.Return(machine.ValTrue)
+				},
+			}},
+		},
+	}
+	if opts.Contains {
+		methods = append(methods, machine.Method{
+			Name: "Contains",
+			Args: keys,
+			Body: []machine.Stmt{{
+				Label: "contains",
+				Exec: func(c *machine.Ctx) {
+					if c.V(slot(c)) == 1 {
+						c.Return(machine.ValTrue)
+						return
+					}
+					c.Return(machine.ValFalse)
+				},
+			}},
+		})
+	}
+	return &machine.Program{
+		Name:      "set-spec",
+		Globals:   machine.Schema{Names: names, Kinds: kinds},
+		Methods:   methods,
+		FormatRet: boolRet("Add", "Remove", "Contains"),
+	}
+}
+
+// NewCAS returns the specification of the NewCompareAndSet register of
+// Fig. 3: NewCAS(exp,new) atomically reads the register, writes new if it
+// equals exp, and returns the prior value.
+func NewCAS() *machine.Program {
+	return &machine.Program{
+		Name:    "newcas-spec",
+		Globals: machine.Schema{Names: []string{"r"}, Kinds: []machine.VarKind{machine.KVal}},
+		Methods: []machine.Method{{
+			Name: "NewCAS",
+			Args: PairArgs(),
+			Body: []machine.Stmt{{
+				Label: "ncas",
+				Exec: func(c *machine.Ctx) {
+					exp, val := DecodePair(c.Arg)
+					prior := c.V(0)
+					if prior == exp {
+						c.SetV(0, val)
+						c.Return(exp)
+						return
+					}
+					c.Return(prior)
+				},
+			}},
+		}},
+		FormatArg: FormatPair,
+	}
+}
+
+// CCAS returns the specification of the conditional CAS object: CCAS(e,n)
+// writes n if the register equals e and the condition flag is clear,
+// always returning the register's prior value; SetFlag(b) writes the
+// flag.
+func CCAS() *machine.Program {
+	return &machine.Program{
+		Name: "ccas-spec",
+		Globals: machine.Schema{
+			Names: []string{"r", "flag"},
+			Kinds: []machine.VarKind{machine.KVal, machine.KVal},
+		},
+		Methods: []machine.Method{
+			{
+				Name: "CCAS",
+				Args: PairArgs(),
+				Body: []machine.Stmt{{
+					Label: "ccas",
+					Exec: func(c *machine.Ctx) {
+						exp, val := DecodePair(c.Arg)
+						cur := c.V(0)
+						if cur == exp && c.V(1) == 0 {
+							c.SetV(0, val)
+						}
+						c.Return(cur)
+					},
+				}},
+			},
+			{
+				Name: "SetFlag",
+				Args: []int32{0, 1},
+				Body: []machine.Stmt{{
+					Label: "setflag",
+					Exec: func(c *machine.Ctx) {
+						c.SetV(1, c.Arg)
+						c.Return(machine.ValOK)
+					},
+				}},
+			},
+		},
+		FormatArg: func(m *machine.Method, arg int32) string {
+			if m.Name == "CCAS" {
+				return FormatPair(m, arg)
+			}
+			return machine.FormatValue(arg)
+		},
+	}
+}
+
+// RDCSS returns the specification of the restricted double-compare
+// single-swap: RDCSS(o1,o2,n2) writes n2 into the data register r2 if
+// r1 == o1 and r2 == o2, returning r2's prior value; Write1(v) sets the
+// control register r1.
+func RDCSS() *machine.Program {
+	return &machine.Program{
+		Name: "rdcss-spec",
+		Globals: machine.Schema{
+			Names: []string{"r1", "r2"},
+			Kinds: []machine.VarKind{machine.KVal, machine.KVal},
+		},
+		Methods: []machine.Method{
+			{
+				Name: "RDCSS",
+				Args: TripleArgs(),
+				Body: []machine.Stmt{{
+					Label: "rdcss",
+					Exec: func(c *machine.Ctx) {
+						o1, o2, n2 := DecodeTriple(c.Arg)
+						cur := c.V(1)
+						if cur == o2 && c.V(0) == o1 {
+							c.SetV(1, n2)
+						}
+						c.Return(cur)
+					},
+				}},
+			},
+			{
+				Name: "Write1",
+				Args: []int32{0, 1},
+				Body: []machine.Stmt{{
+					Label: "write1",
+					Exec: func(c *machine.Ctx) {
+						c.SetV(0, c.Arg)
+						c.Return(machine.ValOK)
+					},
+				}},
+			},
+		},
+		FormatArg: func(m *machine.Method, arg int32) string {
+			if m.Name == "RDCSS" {
+				return FormatTriple(m, arg)
+			}
+			return machine.FormatValue(arg)
+		},
+	}
+}
