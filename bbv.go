@@ -49,6 +49,9 @@ type Instance struct {
 	Threads   int
 	Ops       int
 	MaxStates int
+	// Workers sets the state-space exploration worker count (0 = all
+	// cores, 1 = sequential). Results are identical for any value.
+	Workers int
 	// Vals overrides the data-value universe of the packaged algorithms
 	// (default {1, 2}).
 	Vals []int32
@@ -60,7 +63,7 @@ func (i Instance) Algorithm() algorithms.Config {
 }
 
 func (i Instance) core() core.Config {
-	return core.Config{Threads: i.Threads, Ops: i.Ops, MaxStates: i.MaxStates}
+	return core.Config{Threads: i.Threads, Ops: i.Ops, MaxStates: i.MaxStates, Workers: i.Workers}
 }
 
 // Program is a concurrent object model; see machine.Program for how to
@@ -135,6 +138,7 @@ func CheckLTL(impl *Program, f *ltl.Formula, in Instance) (*ltl.Result, error) {
 		Threads:   in.Threads,
 		Ops:       in.Ops,
 		MaxStates: in.MaxStates,
+		Workers:   in.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -163,7 +167,7 @@ type Explanation = bisim.Explanation
 func ExplainSpecMismatch(impl, spec *Program, in Instance) (*Explanation, bool, error) {
 	acts := lts.NewAlphabet()
 	labels := lts.NewAlphabet()
-	opts := machine.Options{Threads: in.Threads, Ops: in.Ops, MaxStates: in.MaxStates, Acts: acts, Labels: labels}
+	opts := machine.Options{Threads: in.Threads, Ops: in.Ops, MaxStates: in.MaxStates, Workers: in.Workers, Acts: acts, Labels: labels}
 	implLTS, err := machine.Explore(impl, opts)
 	if err != nil {
 		return nil, false, err

@@ -1,6 +1,7 @@
 package bbv
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/algorithms"
@@ -81,6 +82,46 @@ func BenchmarkExploreMSQueue(b *testing.B) {
 		}
 		if l.NumStates() == 0 {
 			b.Fatal("empty LTS")
+		}
+	}
+}
+
+// BenchmarkExploreParallel sweeps exploration worker counts on the two
+// generation-bound workloads of the paper's sweeps — the MS queue
+// (~250k states at 2x3 with one value) and the HM list — so the
+// parallel-BFS speedup lands in the bench trajectory. w1 is the
+// sequential baseline; every worker count produces the identical LTS.
+func BenchmarkExploreParallel(b *testing.B) {
+	cases := []struct {
+		id           string
+		threads, ops int
+		vals         []int32
+	}{
+		{"ms-queue", 2, 3, []int32{1}},
+		{"hm-list", 2, 2, nil},
+	}
+	for _, c := range cases {
+		alg, err := algorithms.ByID(c.id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := alg.Build(algorithms.Config{Threads: c.threads, Ops: c.ops, Vals: c.vals})
+		for _, workers := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("%s/%dx%d/w%d", c.id, c.threads, c.ops, workers)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					l, err := machine.Explore(prog, machine.Options{
+						Threads: c.threads, Ops: c.ops, Workers: workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if l.NumStates() == 0 {
+						b.Fatal("empty LTS")
+					}
+				}
+			})
 		}
 	}
 }

@@ -83,7 +83,9 @@ subcommands:
   sweep   [flags] <algorithm>  sweep the operation bound (Table III / Fig. 10
                                style): sizes, quotients, reduction, verdicts
 
-common flags: -threads N (default 2), -ops N (default 2), -vals 1,2, -max-states N`)
+common flags: -threads N (default 2), -ops N (default 2), -vals 1,2, -max-states N,
+              -workers N (exploration workers; 0 = all cores, 1 = sequential —
+              results are identical for any value)`)
 }
 
 func list() error {
@@ -104,6 +106,7 @@ type commonFlags struct {
 	ops       *int
 	vals      *string
 	maxStates *int
+	workers   *int
 }
 
 func newFlags(name string) *commonFlags {
@@ -114,6 +117,7 @@ func newFlags(name string) *commonFlags {
 		ops:       fs.Int("ops", 2, "operations per thread"),
 		vals:      fs.String("vals", "", "comma-separated value universe (default algorithm-specific)"),
 		maxStates: fs.Int("max-states", 0, "state budget (0 = default)"),
+		workers:   fs.Int("workers", 0, "exploration workers (0 = all cores, 1 = sequential)"),
 	}
 }
 
@@ -140,7 +144,7 @@ func (c *commonFlags) parse(args []string) (*algorithms.Algorithm, algorithms.Co
 		}
 	}
 	acfg := algorithms.Config{Threads: *c.threads, Ops: *c.ops, Vals: vals}
-	ccfg := core.Config{Threads: *c.threads, Ops: *c.ops, MaxStates: *c.maxStates}
+	ccfg := core.Config{Threads: *c.threads, Ops: *c.ops, MaxStates: *c.maxStates, Workers: *c.workers}
 	return alg, acfg, ccfg, nil
 }
 
@@ -205,7 +209,7 @@ func exploreCmd(args []string) error {
 		return err
 	}
 	l, err := machine.Explore(alg.Build(acfg), machine.Options{
-		Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates,
+		Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates, Workers: ccfg.Workers,
 	})
 	if err != nil {
 		return err
@@ -255,7 +259,7 @@ func ktraceCmd(args []string) error {
 		return err
 	}
 	l, err := machine.Explore(alg.Build(acfg), machine.Options{
-		Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates,
+		Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates, Workers: ccfg.Workers,
 	})
 	if err != nil {
 		return err
@@ -289,7 +293,7 @@ func compareCmd(args []string) error {
 	}
 	acts := lts.NewAlphabet()
 	labels := lts.NewAlphabet()
-	opts := machine.Options{Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates, Acts: acts, Labels: labels}
+	opts := machine.Options{Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates, Workers: ccfg.Workers, Acts: acts, Labels: labels}
 	impl, err := machine.Explore(alg.Build(acfg), opts)
 	if err != nil {
 		return err
@@ -343,7 +347,7 @@ func ltlCmd(args []string) error {
 		return fmt.Errorf("unknown formula %q (use lockfree or completes:<Method>)", *formula)
 	}
 	l, err := machine.Explore(alg.Build(acfg), machine.Options{
-		Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates,
+		Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates, Workers: ccfg.Workers,
 	})
 	if err != nil {
 		return err
@@ -383,7 +387,7 @@ func sweepCmd(args []string) error {
 		a.Ops = ops
 		start := time.Now()
 		l, err := machine.Explore(alg.Build(a), machine.Options{
-			Threads: ccfg.Threads, Ops: ops, MaxStates: ccfg.MaxStates,
+			Threads: ccfg.Threads, Ops: ops, MaxStates: ccfg.MaxStates, Workers: ccfg.Workers,
 		})
 		if err != nil {
 			var lim *machine.StateLimitError

@@ -2,8 +2,8 @@
 // evaluation (Section VI). With no arguments it lists the available
 // exhibits; "all" runs every exhibit in paper order.
 //
-//	paper-tables [-quick] [-max-states N] all
-//	paper-tables [-quick] [-max-states N] table3 fig10 ...
+//	paper-tables [-quick] [-max-states N] [-workers N] all
+//	paper-tables [-quick] [-max-states N] [-workers N] table3 fig10 ...
 package main
 
 import (
@@ -26,6 +26,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("paper-tables", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "run reduced instances (fast demo)")
 	maxStates := fs.Int("max-states", 0, "per-instance state budget (0 = default)")
+	workers := fs.Int("workers", 0, "exploration workers (0 = all cores, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,7 +51,7 @@ func run(args []string) error {
 		}
 		selected = append(selected, e)
 	}
-	opt := exhibits.Options{Quick: *quick, MaxStates: *maxStates}
+	opt := exhibits.Options{Quick: *quick, MaxStates: *maxStates, Workers: *workers}
 	for _, e := range selected {
 		start := time.Now()
 		t, err := e.Run(opt)

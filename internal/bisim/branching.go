@@ -1,6 +1,8 @@
 package bisim
 
 import (
+	"fmt"
+
 	"repro/internal/lts"
 )
 
@@ -9,6 +11,17 @@ import (
 // It is never interned into an Alphabet; the ID is chosen outside any
 // realistic alphabet range and only lives inside signature pairs.
 const divergenceAction lts.ActionID = 1<<30 - 1
+
+// checkDivergenceReserve guards the reserved δ action ID: if an alphabet
+// ever grew to n ≥ divergenceAction interned actions, a genuine action
+// would silently collide with δ inside divergence-sensitive signatures
+// and corrupt the partition. The guard fails loudly instead; it is called
+// wherever δ signature pairs are built.
+func checkDivergenceReserve(n int) {
+	if lts.ActionID(n) > divergenceAction {
+		panic(fmt.Sprintf("bisim: alphabet with %d actions collides with the reserved divergence action ID %d", n, divergenceAction))
+	}
+}
 
 // Branching computes the branching bisimulation partition of l
 // (the relation ≈ of Definition 4.1, in its standard stuttering form).
@@ -23,6 +36,9 @@ func DivergenceSensitiveBranching(l *lts.LTS) *Partition {
 }
 
 func branching(l *lts.LTS, divSensitive bool) *Partition {
+	if divSensitive {
+		checkDivergenceReserve(l.Acts.Len())
+	}
 	scc := lts.TauSCCs(l)
 	collapsed, stateOf := lts.CollapseTauSCCs(l, scc)
 	divergent := make([]bool, collapsed.NumStates())

@@ -1,0 +1,24 @@
+package bisim
+
+import "testing"
+
+// TestDivergenceActionReserved documents the reserved synthetic action ID
+// used to encode divergence: δ = 1<<30 - 1 never comes from an Alphabet,
+// and the guard called wherever δ signature pairs are built refuses any
+// alphabet large enough for a genuine action to collide with it.
+func TestDivergenceActionReserved(t *testing.T) {
+	// Realistic alphabets are nowhere near the reserve; the guard passes.
+	checkDivergenceReserve(0)
+	checkDivergenceReserve(1 << 20)
+	// The largest safe alphabet has IDs 0..δ-1, i.e. exactly δ actions.
+	checkDivergenceReserve(int(divergenceAction))
+
+	// One more action would intern ID δ itself and silently corrupt
+	// divergence-sensitive signatures; the guard must panic instead.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("alphabet of %d actions collides with δ; guard did not panic", int(divergenceAction)+1)
+		}
+	}()
+	checkDivergenceReserve(int(divergenceAction) + 1)
+}

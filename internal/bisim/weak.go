@@ -27,6 +27,9 @@ func DivergenceSensitiveWeak(l *lts.LTS) *Partition {
 }
 
 func weak(l *lts.LTS, divSensitive bool) *Partition {
+	if divSensitive {
+		checkDivergenceReserve(l.Acts.Len())
+	}
 	n := l.NumStates()
 	closure := tauClosures(l)
 	divergent := make([]bool, n)

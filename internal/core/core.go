@@ -41,6 +41,10 @@ type Config struct {
 	// MaxStates caps each state-space generation; 0 uses the machine
 	// package default.
 	MaxStates int
+	// Workers sets the exploration worker count (0 = all cores, 1 =
+	// sequential); the generated LTSs — and hence every verdict — are
+	// identical for any value. See machine.Options.Workers.
+	Workers int
 }
 
 func (c Config) options(acts, labels *lts.Alphabet) machine.Options {
@@ -48,6 +52,7 @@ func (c Config) options(acts, labels *lts.Alphabet) machine.Options {
 		Threads:   c.Threads,
 		Ops:       c.Ops,
 		MaxStates: c.MaxStates,
+		Workers:   c.Workers,
 		Acts:      acts,
 		Labels:    labels,
 	}

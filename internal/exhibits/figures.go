@@ -27,7 +27,7 @@ func Fig6(opt Options) (*Table, error) {
 	}
 	for ops := 2; ops <= maxOps; ops++ {
 		cfg := algorithms.Config{Threads: 2, Ops: ops, Vals: oneVal}
-		l, wasCapped, err := explore(a.Build(cfg), 2, ops, opt.maxStates(), nil, nil)
+		l, wasCapped, err := explore(a.Build(cfg), 2, ops, opt, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("fig6: %w", err)
 		}
@@ -71,7 +71,7 @@ func Fig7(opt Options) (*Table, error) {
 	cfg := algorithms.Config{Threads: 2, Ops: ops, Vals: oneVal}
 	acts := lts.NewAlphabet()
 	labels := lts.NewAlphabet()
-	l, wasCapped, err := explore(a.Build(cfg), 2, ops, opt.maxStates(), acts, labels)
+	l, wasCapped, err := explore(a.Build(cfg), 2, ops, opt, acts, labels)
 	if err != nil || wasCapped {
 		if wasCapped {
 			return nil, fmt.Errorf("fig7: instance exceeded the state budget")
@@ -105,7 +105,7 @@ func Fig7(opt Options) (*Table, error) {
 	}
 
 	// The spec comparison: not branching bisimilar (the non-fixed LP).
-	specLTS, _, err := explore(a.Spec(cfg), 2, ops, opt.maxStates(), acts, labels)
+	specLTS, _, err := explore(a.Spec(cfg), 2, ops, opt, acts, labels)
 	if err != nil {
 		return nil, fmt.Errorf("fig7 spec: %w", err)
 	}
@@ -207,7 +207,7 @@ func Fig10(opt Options) (*Table, error) {
 		a := mustAlg(id)
 		for ops := 1; ops <= maxOps; ops++ {
 			cfg := algorithms.Config{Threads: 2, Ops: ops, Vals: oneVal}
-			l, wasCapped, err := explore(a.Build(cfg), 2, ops, opt.maxStates(), nil, nil)
+			l, wasCapped, err := explore(a.Build(cfg), 2, ops, opt, nil, nil)
 			if err != nil {
 				return nil, fmt.Errorf("fig10 %s: %w", id, err)
 			}

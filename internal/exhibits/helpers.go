@@ -19,11 +19,12 @@ var oneVal = []int32{1}
 
 // explore builds the LTS of one algorithm instance, reporting capped=true
 // (and no error) when the state budget is exceeded.
-func explore(p *machine.Program, threads, ops, maxStates int, acts, labels *lts.Alphabet) (l *lts.LTS, wasCapped bool, err error) {
+func explore(p *machine.Program, threads, ops int, opt Options, acts, labels *lts.Alphabet) (l *lts.LTS, wasCapped bool, err error) {
 	l, err = machine.Explore(p, machine.Options{
 		Threads:   threads,
 		Ops:       ops,
-		MaxStates: maxStates,
+		MaxStates: opt.maxStates(),
+		Workers:   opt.Workers,
 		Acts:      acts,
 		Labels:    labels,
 	})

@@ -103,6 +103,10 @@ type Options struct {
 	// Quick shrinks each exhibit to its smallest meaningful instances,
 	// for tests and fast demos.
 	Quick bool
+	// Workers sets the state-space exploration worker count (0 = all
+	// cores, 1 = sequential). Exhibit contents are identical for any
+	// value; only wall-clock time changes.
+	Workers int
 }
 
 // DefaultMaxStates is the per-instance exploration budget of full runs.

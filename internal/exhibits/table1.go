@@ -71,7 +71,7 @@ func Table1(opt Options) (*Table, error) {
 		)
 		for _, in := range row.instances {
 			cfg := algorithms.Config{Threads: in.threads, Ops: in.ops, Vals: in.vals}
-			l, wasCapped, err := explore(a.Build(cfg), in.threads, in.ops, opt.maxStates(), nil, nil)
+			l, wasCapped, err := explore(a.Build(cfg), in.threads, in.ops, opt, nil, nil)
 			if err != nil {
 				return nil, fmt.Errorf("table1 %s: %w", row.id, err)
 			}

@@ -29,6 +29,7 @@ func lockFreeSweep(title string, alg *algorithms.Algorithm, rows []instance, val
 			Threads:   in.threads,
 			Ops:       in.ops,
 			MaxStates: opt.maxStates(),
+			Workers:   opt.Workers,
 		})
 		if err != nil {
 			if isStateLimit(err) {

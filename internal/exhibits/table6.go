@@ -34,7 +34,7 @@ func Table6(opt Options) (*Table, error) {
 		cfg := algorithms.Config{Threads: in.threads, Ops: in.ops, Vals: oneVal}
 		acts := lts.NewAlphabet()
 		labels := lts.NewAlphabet()
-		msLTS, msCap, err := explore(ms.Build(cfg), in.threads, in.ops, opt.maxStates(), acts, labels)
+		msLTS, msCap, err := explore(ms.Build(cfg), in.threads, in.ops, opt, acts, labels)
 		if err != nil {
 			return nil, fmt.Errorf("table6 %s ms: %w", in, err)
 		}
@@ -42,7 +42,7 @@ func Table6(opt Options) (*Table, error) {
 			t.Add(in.String(), capped, "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-")
 			continue
 		}
-		dglmLTS, dglmCap, err := explore(dglm.Build(cfg), in.threads, in.ops, opt.maxStates(), acts, labels)
+		dglmLTS, dglmCap, err := explore(dglm.Build(cfg), in.threads, in.ops, opt, acts, labels)
 		if err != nil || dglmCap {
 			if dglmCap {
 				t.Add(in.String(), msLTS.NumStates(), capped, "-", "-", "-", "-", "-", "-", "-", "-", "-", "-")
@@ -50,11 +50,11 @@ func Table6(opt Options) (*Table, error) {
 			}
 			return nil, fmt.Errorf("table6 %s dglm: %w", in, err)
 		}
-		specLTS, _, err := explore(ms.Spec(cfg), in.threads, in.ops, opt.maxStates(), acts, labels)
+		specLTS, _, err := explore(ms.Spec(cfg), in.threads, in.ops, opt, acts, labels)
 		if err != nil {
 			return nil, fmt.Errorf("table6 %s spec: %w", in, err)
 		}
-		absLTS, _, err := explore(ms.Abstract(cfg), in.threads, in.ops, opt.maxStates(), acts, labels)
+		absLTS, _, err := explore(ms.Abstract(cfg), in.threads, in.ops, opt, acts, labels)
 		if err != nil {
 			return nil, fmt.Errorf("table6 %s abs: %w", in, err)
 		}

@@ -54,6 +54,7 @@ func Table7(opt Options) (*Table, error) {
 				Threads:   in.threads,
 				Ops:       in.ops,
 				MaxStates: opt.maxStates(),
+				Workers:   opt.Workers,
 			})
 			if err != nil {
 				if isStateLimit(err) {

@@ -178,6 +178,35 @@ func (b *CSRBuilder) Emit(act ActionID, label LabelID, dst int32) {
 	b.offsets[len(b.offsets)-1] = int32(len(b.edges))
 }
 
+// Reserve grows the builder's capacity for at least states more states
+// and edges more transitions, so a bulk merge appends without regrowing.
+func (b *CSRBuilder) Reserve(states, edges int) {
+	if need := len(b.offsets) + states; need > cap(b.offsets) {
+		grown := make([]int32, len(b.offsets), need)
+		copy(grown, b.offsets)
+		b.offsets = grown
+	}
+	if need := len(b.edges) + edges; need > cap(b.edges) {
+		grown := make([]Transition, len(b.edges), need)
+		copy(grown, b.edges)
+		b.edges = grown
+	}
+}
+
+// EmitRow appends every transition of state s in one call — the bulk
+// emission path used by the parallel explorer's merge. Like BeginState,
+// rows must arrive in strictly increasing state order starting at 0; an
+// EmitRow with an empty row records a state without transitions.
+func (b *CSRBuilder) EmitRow(s int32, row []Transition) error {
+	if s != b.cur+1 {
+		return fmt.Errorf("lts: EmitRow(%d) out of order, expected %d", s, b.cur+1)
+	}
+	b.cur = s
+	b.edges = append(b.edges, row...)
+	b.offsets = append(b.offsets, int32(len(b.edges)))
+	return nil
+}
+
 // Build finalizes the LTS with the given total number of states; states
 // beyond the last BeginState have no outgoing transitions.
 func (b *CSRBuilder) Build(numStates int, init int32) *LTS {

@@ -2,6 +2,8 @@ package machine
 
 import (
 	"fmt"
+	"runtime"
+	"unsafe"
 
 	"repro/internal/lts"
 )
@@ -29,6 +31,13 @@ type Options struct {
 	Ops int
 	// MaxStates bounds the exploration; 0 means DefaultMaxStates.
 	MaxStates int
+	// Workers is the number of exploration workers: 0 uses
+	// runtime.GOMAXPROCS(0), 1 forces the sequential explorer, and larger
+	// values run the level-synchronized parallel explorer. Every worker
+	// count produces the same LTS, bit for bit (state IDs in sequential
+	// discovery order, transitions in the same order, identical alphabet
+	// interning), so results, quotients and verdicts never depend on it.
+	Workers int
 	// Acts supplies a shared action alphabet so that several systems
 	// (object, specification, abstraction) can be compared; nil allocates
 	// a fresh one.
@@ -75,16 +84,19 @@ func ExploreWithInfo(p *Program, opt Options) (*lts.LTS, *Info, error) {
 	if labels == nil {
 		labels = lts.NewAlphabet()
 	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		return exploreParallel(p, opt, acts, labels, limit, workers)
+	}
 
 	e := &explorer{
-		prog:     p,
-		opt:      opt,
-		acts:     acts,
-		labels:   labels,
-		actCache: make(map[int64]lts.ActionID),
-		lblCache: make(map[int64]lts.LabelID),
-		ids:      make(map[string]int32),
-		canon:    newCanonicalizer(p, p.HeapCap+1),
+		prog: p,
+		opt:  opt,
+		ai:   newActionInterner(p, acts, labels),
+		ids:  make(map[string]int32),
 	}
 	return e.run(limit)
 }
@@ -101,23 +113,38 @@ func validateOptions(p *Program, opt Options) error {
 	return nil
 }
 
+// bytesString views b as a string without copying. The caller must never
+// mutate b afterwards; interned state keys are write-once.
+func bytesString(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// initialState builds the start state of the most general client.
+func initialState(p *Program, opt Options) *state {
+	init := newScratchState(p, opt.Threads)
+	if p.Init != nil {
+		p.Init(init.g)
+	}
+	for i := range init.th {
+		init.th[i].ops = int32(opt.Ops)
+	}
+	return init
+}
+
+// explorer is the sequential state-space generator: a BFS over interned
+// canonical state encodings, emitting transitions straight into a CSR
+// builder.
 type explorer struct {
-	prog     *Program
-	opt      Options
-	acts     *lts.Alphabet
-	labels   *lts.Alphabet
-	actCache map[int64]lts.ActionID
-	lblCache map[int64]lts.LabelID
-	ids      map[string]int32
-	keys     []string
-	canon    *canonicalizer
-	buf      []byte
-	// Scratch states reused across transitions to keep the hot path
-	// allocation-free: work holds the statement's mutated copy of the
-	// current state, succ the per-outcome successor handed to the
-	// canonicalizer (which rewrites it in place).
-	work, succ *state
-	ctx        Ctx
+	prog  *Program
+	opt   Options
+	ai    *actionInterner
+	ids   map[string]int32
+	keys  [][]byte
+	buf   []byte
+	limit int
+	err   error
+	csr   *lts.CSRBuilder
+	x     expander
 }
 
 // actKey packs (call?, thread, method, value) for the action cache.
@@ -129,39 +156,60 @@ func actKey(call bool, t, m int, v int32) int64 {
 	return k
 }
 
-func (e *explorer) callAction(t, m int) func(arg int32) lts.ActionID {
-	return func(arg int32) lts.ActionID {
-		k := actKey(true, t, m, arg)
-		if id, ok := e.actCache[k]; ok {
-			return id
-		}
-		meth := &e.prog.Methods[m]
-		var name string
-		if meth.Args == nil {
-			name = fmt.Sprintf("t%d.call.%s", t+1, meth.Name)
-		} else {
-			format := e.prog.FormatArg
-			argStr := ""
-			if format != nil {
-				argStr = format(meth, arg)
-			} else {
-				argStr = FormatValue(arg)
-			}
-			name = fmt.Sprintf("t%d.call.%s(%s)", t+1, meth.Name, argStr)
-		}
-		id := e.acts.ID(name)
-		e.actCache[k] = id
-		return id
+// actionInterner resolves the symbolic transitions produced by expandState
+// to interned action and label IDs, memoized per (thread, method, value).
+// It is shared by the sequential explorer and the parallel merge; both
+// resolve transitions in the same deterministic emission order, so the
+// alphabets receive identical IDs either way.
+type actionInterner struct {
+	prog     *Program
+	acts     *lts.Alphabet
+	labels   *lts.Alphabet
+	actCache map[int64]lts.ActionID
+	lblCache map[int64]lts.LabelID
+}
+
+func newActionInterner(p *Program, acts, labels *lts.Alphabet) *actionInterner {
+	return &actionInterner{
+		prog:     p,
+		acts:     acts,
+		labels:   labels,
+		actCache: make(map[int64]lts.ActionID),
+		lblCache: make(map[int64]lts.LabelID),
 	}
 }
 
-func (e *explorer) retAction(t, m int, ret int32) lts.ActionID {
-	k := actKey(false, t, m, ret)
-	if id, ok := e.actCache[k]; ok {
+func (ai *actionInterner) callAction(t, m int, arg int32) lts.ActionID {
+	k := actKey(true, t, m, arg)
+	if id, ok := ai.actCache[k]; ok {
 		return id
 	}
-	meth := &e.prog.Methods[m]
-	format := e.prog.FormatRet
+	meth := &ai.prog.Methods[m]
+	var name string
+	if meth.Args == nil {
+		name = fmt.Sprintf("t%d.call.%s", t+1, meth.Name)
+	} else {
+		format := ai.prog.FormatArg
+		argStr := ""
+		if format != nil {
+			argStr = format(meth, arg)
+		} else {
+			argStr = FormatValue(arg)
+		}
+		name = fmt.Sprintf("t%d.call.%s(%s)", t+1, meth.Name, argStr)
+	}
+	id := ai.acts.ID(name)
+	ai.actCache[k] = id
+	return id
+}
+
+func (ai *actionInterner) retAction(t, m int, ret int32) lts.ActionID {
+	k := actKey(false, t, m, ret)
+	if id, ok := ai.actCache[k]; ok {
+		return id
+	}
+	meth := &ai.prog.Methods[m]
+	format := ai.prog.FormatRet
 	var retStr string
 	if format != nil {
 		retStr = format(meth, ret)
@@ -169,45 +217,64 @@ func (e *explorer) retAction(t, m int, ret int32) lts.ActionID {
 		retStr = FormatValue(ret)
 	}
 	name := fmt.Sprintf("t%d.ret.%s(%s)", t+1, meth.Name, retStr)
-	id := e.acts.ID(name)
-	e.actCache[k] = id
+	id := ai.acts.ID(name)
+	ai.actCache[k] = id
 	return id
 }
 
-func (e *explorer) stmtLabel(t, m, pc int) lts.LabelID {
+func (ai *actionInterner) stmtLabel(t, m, pc int) lts.LabelID {
 	k := int64(t)<<40 | int64(m)<<16 | int64(pc)
-	if id, ok := e.lblCache[k]; ok {
+	if id, ok := ai.lblCache[k]; ok {
 		return id
 	}
-	stmt := &e.prog.Methods[m].Body[pc]
+	stmt := &ai.prog.Methods[m].Body[pc]
 	lbl := stmt.Label
 	if lbl == "" {
-		lbl = fmt.Sprintf("%s.%d", e.prog.Methods[m].Name, pc)
+		lbl = fmt.Sprintf("%s.%d", ai.prog.Methods[m].Name, pc)
 	}
-	id := lts.LabelID(e.labels.ID(fmt.Sprintf("t%d.%s", t+1, lbl)))
-	e.lblCache[k] = id
+	id := lts.LabelID(ai.labels.ID(fmt.Sprintf("t%d.%s", t+1, lbl)))
+	ai.lblCache[k] = id
 	return id
+}
+
+// resolve maps a symbolic transition to its action and label IDs.
+func (ai *actionInterner) resolve(tr symTrans) (lts.ActionID, lts.LabelID) {
+	switch tr.kind {
+	case symCall:
+		return ai.callAction(int(tr.t), int(tr.m), tr.val), lts.NoLabel
+	case symTau:
+		return lts.Tau, ai.stmtLabel(int(tr.t), int(tr.m), int(tr.pc))
+	default:
+		return ai.retAction(int(tr.t), int(tr.m), tr.val), lts.NoLabel
+	}
 }
 
 // internState canonicalizes, encodes and interns st, returning its ID.
+// The state budget is enforced here, at the moment the offending state is
+// interned, so one state's expansion cannot run arbitrarily far past
+// MaxStates before the error surfaces: e.err carries the StateLimitError
+// as soon as the limit is crossed and callers stop promptly.
 func (e *explorer) internState(st *state) int32 {
-	e.canon.run(st)
+	e.x.canon.run(st)
 	e.buf = encode(e.buf[:0], st)
 	if id, ok := e.ids[string(e.buf)]; ok {
 		return id
 	}
 	id := int32(len(e.keys))
-	key := string(e.buf)
-	e.ids[key] = id
+	key := append([]byte(nil), e.buf...)
+	e.ids[bytesString(key)] = id
 	e.keys = append(e.keys, key)
+	if len(e.keys) > e.limit && e.err == nil {
+		e.err = &StateLimitError{Program: e.prog.Name, Limit: e.limit}
+	}
 	return id
 }
 
-func (e *explorer) newState() *state {
-	p := e.prog
+// newScratchState allocates a state shaped for the program.
+func newScratchState(p *Program, threads int) *state {
 	st := &state{
 		g:  &Global{Vars: make([]int32, len(p.Globals.Names)), Heap: make([]Node, p.HeapCap+1)},
-		th: make([]thread, e.opt.Threads),
+		th: make([]thread, threads),
 	}
 	for i := range st.th {
 		st.th[i].locals = make([]int32, p.NLocals)
@@ -217,37 +284,43 @@ func (e *explorer) newState() *state {
 
 func (e *explorer) run(limit int) (*lts.LTS, *Info, error) {
 	p := e.prog
-	init := e.newState()
-	if p.Init != nil {
-		p.Init(init.g)
+	e.limit = limit
+	e.x = newExpander(p, e.opt.Threads)
+	e.internState(initialState(p, e.opt))
+	if e.err != nil {
+		return nil, nil, e.err
 	}
-	for i := range init.th {
-		init.th[i].ops = int32(e.opt.Ops)
-	}
-	e.internState(init)
 
 	info := &Info{}
-	csr := lts.NewCSRBuilder(e.acts, e.labels)
-	cur := e.newState()
-	e.work = e.newState()
-	e.succ = e.newState()
+	e.csr = lts.NewCSRBuilder(e.ai.acts, e.ai.labels)
+	cur := newScratchState(p, e.opt.Threads)
 	for si := 0; si < len(e.keys); si++ {
-		if len(e.keys) > limit {
-			return nil, nil, &StateLimitError{Program: p.Name, Limit: limit}
-		}
-		decodeKey(e.keys[si], cur)
-		if err := csr.BeginState(int32(si)); err != nil {
+		decode(e.keys[si], cur)
+		if err := e.csr.BeginState(int32(si)); err != nil {
 			return nil, nil, err
 		}
-		emitted := 0
-		for t := range cur.th {
-			emitted += e.emitThread(csr, cur, t)
+		emitted := e.x.expandState(cur, e)
+		if e.err != nil {
+			return nil, nil, e.err
 		}
 		if emitted == 0 && !allDone(cur) {
 			info.Deadlocks = append(info.Deadlocks, int32(si))
 		}
 	}
-	return csr.Build(len(e.keys), 0), info, nil
+	return e.csr.Build(len(e.keys), 0), info, nil
+}
+
+// emit implements transSink for the sequential explorer: intern the
+// successor, resolve the action, and write the transition to the CSR
+// builder. Expansion aborts once the state budget has been crossed.
+func (e *explorer) emit(x *expander, tr symTrans) bool {
+	dst := e.internState(x.succ)
+	if e.err != nil {
+		return false
+	}
+	act, lbl := e.ai.resolve(tr)
+	e.csr.Emit(act, lbl, dst)
+	return true
 }
 
 // allDone reports whether every thread is idle with no operations left —
@@ -261,30 +334,92 @@ func allDone(st *state) bool {
 	return true
 }
 
-// decode from string key: state.go's decode takes []byte; strings index
-// byte-wise, so convert without copy via a helper.
-func decodeKey(key string, st *state) { decode([]byte(key), st) }
+// Kinds of symbolic transitions produced by expandState.
+const (
+	symCall int8 = iota
+	symTau
+	symRet
+)
 
-// emitThread appends all transitions of thread t from state cur,
-// returning how many it emitted.
-func (e *explorer) emitThread(csr *lts.CSRBuilder, cur *state, t int) int {
-	p := e.prog
+// symTrans is one transition in symbolic form: the action is identified
+// by (kind, t, m, val) and the τ diagnostic label by (t, m, pc). The
+// successor state sits in the expander's succ scratch when the sink runs.
+type symTrans struct {
+	kind int8
+	t, m int32
+	val  int32 // call argument or return value
+	pc   int32 // statement index, for symTau labels
+}
+
+// transSink consumes the transitions produced by expandState. emit may
+// return false to abort the expansion of the current state early (the
+// sequential explorer does so when the state budget is crossed).
+type transSink interface {
+	emit(x *expander, tr symTrans) bool
+}
+
+// expander bundles the per-worker scratch needed to enumerate the
+// successors of one state: the statement's mutated copy of the current
+// state (work), the per-outcome successor handed to the canonicalizer
+// (succ, rewritten in place), the statement context, and a private
+// canonicalizer. The sequential explorer owns one; every parallel worker
+// owns its own, so expansion never shares mutable state.
+type expander struct {
+	prog       *Program
+	work, succ *state
+	ctx        Ctx
+	canon      *canonicalizer
+}
+
+func newExpander(p *Program, threads int) expander {
+	return expander{
+		prog:  p,
+		work:  newScratchState(p, threads),
+		succ:  newScratchState(p, threads),
+		canon: newCanonicalizer(p, p.HeapCap+1),
+	}
+}
+
+// zeroArg is the argument list of no-argument methods.
+var zeroArg = []int32{0}
+
+// expandState enumerates all transitions of cur in the deterministic
+// order the LTS stores them — threads ascending; within a thread, methods
+// and arguments in declaration order and statement outcomes in emission
+// order — leaving each successor in x.succ for the sink. It returns the
+// number of transitions handed to the sink (a partial count if the sink
+// aborted).
+func (x *expander) expandState(cur *state, sink transSink) int {
+	emitted := 0
+	for t := range cur.th {
+		n, ok := x.expandThread(cur, t, sink)
+		emitted += n
+		if !ok {
+			break
+		}
+	}
+	return emitted
+}
+
+// expandThread enumerates the transitions of thread t from state cur,
+// returning how many it produced and whether the sink wants more.
+func (x *expander) expandThread(cur *state, t int, sink transSink) (int, bool) {
+	p := x.prog
 	emitted := 0
 	th := &cur.th[t]
 	switch th.status {
 	case statusIdle:
 		if th.ops == 0 {
-			return 0
+			return 0, true
 		}
 		for mi := range p.Methods {
-			mkAct := e.callAction(t, mi)
 			args := p.Methods[mi].Args
 			if args == nil {
-				args = []int32{0}
+				args = zeroArg
 			}
 			for _, arg := range args {
-				cur.copyInto(e.succ)
-				nt := &e.succ.th[t]
+				cur.copyInto(x.succ)
+				nt := &x.succ.th[t]
 				nt.status = statusRunning
 				nt.method = int32(mi)
 				nt.arg = arg
@@ -293,9 +428,10 @@ func (e *explorer) emitThread(csr *lts.CSRBuilder, cur *state, t int) int {
 				for i := range nt.locals {
 					nt.locals[i] = 0
 				}
-				dst := e.internState(e.succ)
-				csr.Emit(mkAct(arg), lts.NoLabel, dst)
 				emitted++
+				if !sink.emit(x, symTrans{kind: symCall, t: int32(t), m: int32(mi), val: arg}) {
+					return emitted, false
+				}
 			}
 		}
 	case statusRunning:
@@ -304,19 +440,18 @@ func (e *explorer) emitThread(csr *lts.CSRBuilder, cur *state, t int) int {
 		stmt := &p.Methods[mi].Body[pc]
 		// The statement runs on the reusable work copy; its (shared)
 		// mutations are visible to every outcome, per the Stmt contract.
-		cur.copyInto(e.work)
-		e.ctx = Ctx{
+		cur.copyInto(x.work)
+		x.ctx = Ctx{
 			T:    t,
 			Arg:  th.arg,
-			G:    e.work.g,
-			L:    e.work.th[t].locals,
-			outs: e.ctx.outs[:0],
+			G:    x.work.g,
+			L:    x.work.th[t].locals,
+			outs: x.ctx.outs[:0],
 		}
-		stmt.Exec(&e.ctx)
-		label := e.stmtLabel(t, mi, pc)
-		for _, out := range e.ctx.outs {
-			e.work.copyInto(e.succ)
-			nt := &e.succ.th[t]
+		stmt.Exec(&x.ctx)
+		for _, out := range x.ctx.outs {
+			x.work.copyInto(x.succ)
+			nt := &x.succ.th[t]
 			if out.pc < 0 {
 				nt.status = statusReturning
 				nt.ret = out.ret
@@ -331,21 +466,23 @@ func (e *explorer) emitThread(csr *lts.CSRBuilder, cur *state, t int) int {
 				}
 				nt.pc = out.pc
 			}
-			dst := e.internState(e.succ)
-			csr.Emit(lts.Tau, label, dst)
 			emitted++
+			if !sink.emit(x, symTrans{kind: symTau, t: int32(t), m: int32(mi), pc: int32(pc)}) {
+				return emitted, false
+			}
 		}
 	case statusReturning:
-		cur.copyInto(e.succ)
-		nt := &e.succ.th[t]
+		cur.copyInto(x.succ)
+		nt := &x.succ.th[t]
 		mi := int(th.method)
 		ret := th.ret
 		nt.status = statusIdle
 		nt.method = 0
 		nt.ret = 0
-		dst := e.internState(e.succ)
-		csr.Emit(e.retAction(t, mi, ret), lts.NoLabel, dst)
 		emitted++
+		if !sink.emit(x, symTrans{kind: symRet, t: int32(t), m: int32(mi), val: ret}) {
+			return emitted, false
+		}
 	}
-	return emitted
+	return emitted, true
 }

@@ -1,0 +1,222 @@
+package machine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lts"
+)
+
+// Parallel state-space generation: a level-synchronized BFS.
+//
+// The frontier of each BFS level is the contiguous ID range of states
+// discovered during the previous level. Workers claim fixed-size chunks
+// of the frontier (dynamic scheduling via an atomic cursor), expand each
+// state with fully private scratch (expander, decode buffer, encode
+// buffer), intern successor encodings into a lock-striped shard table,
+// and append their transitions — in symbolic form — to a per-worker
+// buffer. A single-threaded merge then walks the frontier in state order,
+// assigns IDs to newly discovered states in exactly the order the
+// sequential explorer would (frontier states ascending, transitions in
+// per-state emission order), resolves action and label IDs through the
+// same memoized interner, and bulk-appends each row to the CSR builder.
+//
+// Consequently the produced LTS — state numbering, transition order,
+// alphabet interning, deadlock list — is identical to the sequential
+// explorer's for every worker count; only wall-clock time changes.
+
+// stEntry is one interned state of the sharded table. id stays -1 until
+// the deterministic merge assigns the state its discovery-order ID.
+type stEntry struct {
+	key []byte
+	id  int32
+}
+
+// tableShards is the number of lock stripes; a power of two so shard
+// selection is a mask.
+const tableShards = 64
+
+type tableShard struct {
+	mu sync.Mutex
+	m  map[string]*stEntry
+	_  [40]byte // pad to a cache line so shard locks don't false-share
+}
+
+// stateTable is the shared intern table of canonical state encodings,
+// sharded by key hash. The hash only picks the stripe — it never
+// influences the produced LTS.
+type stateTable struct {
+	shards [tableShards]tableShard
+}
+
+func newStateTable() *stateTable {
+	t := &stateTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]*stEntry)
+	}
+	return t
+}
+
+func fnv1a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// intern returns the table entry for key, creating an unnumbered one
+// (id == -1) on first sight. Safe for concurrent use.
+func (t *stateTable) intern(key []byte) *stEntry {
+	s := &t.shards[fnv1a(key)&(tableShards-1)]
+	s.mu.Lock()
+	e, ok := s.m[string(key)]
+	if !ok {
+		kc := append([]byte(nil), key...)
+		e = &stEntry{key: kc, id: -1}
+		s.m[bytesString(kc)] = e
+	}
+	s.mu.Unlock()
+	return e
+}
+
+// ptrans is one worker-recorded transition: the symbolic action plus the
+// successor's table entry, resolved to IDs during the merge.
+type ptrans struct {
+	entry *stEntry
+	sym   symTrans
+}
+
+// rowRef locates one frontier state's transitions inside a worker buffer.
+type rowRef struct {
+	start, end int
+	worker     int32
+	deadlock   bool
+}
+
+// pworker is one exploration worker: private expansion scratch plus the
+// transition buffer the merge reads back.
+type pworker struct {
+	x     expander
+	cur   *state
+	buf   []byte
+	trs   []ptrans
+	table *stateTable
+}
+
+// emit implements transSink: canonicalize and encode the successor,
+// intern it into the shared table, and buffer the transition.
+func (w *pworker) emit(x *expander, tr symTrans) bool {
+	x.canon.run(x.succ)
+	w.buf = encode(w.buf[:0], x.succ)
+	w.trs = append(w.trs, ptrans{entry: w.table.intern(w.buf), sym: tr})
+	return true
+}
+
+// frontierChunk is how many frontier states a worker claims at a time:
+// large enough to amortize the atomic cursor, small enough to balance
+// uneven expansion costs.
+const frontierChunk = 64
+
+func exploreParallel(p *Program, opt Options, acts, labels *lts.Alphabet, limit, workers int) (*lts.LTS, *Info, error) {
+	table := newStateTable()
+	ai := newActionInterner(p, acts, labels)
+
+	// Intern the initial state as state 0.
+	init := initialState(p, opt)
+	canon := newCanonicalizer(p, p.HeapCap+1)
+	canon.run(init)
+	ent := table.intern(encode(nil, init))
+	ent.id = 0
+	keys := [][]byte{ent.key}
+
+	ws := make([]*pworker, workers)
+	for i := range ws {
+		ws[i] = &pworker{
+			x:     newExpander(p, opt.Threads),
+			cur:   newScratchState(p, opt.Threads),
+			table: table,
+		}
+	}
+
+	info := &Info{}
+	csr := lts.NewCSRBuilder(acts, labels)
+	var row []lts.Transition
+	for lo := 0; lo < len(keys); {
+		hi := len(keys)
+		frontier := keys[lo:hi]
+		n := len(frontier)
+		rows := make([]rowRef, n)
+
+		// Expand phase: workers claim chunks until the frontier is drained.
+		nw := workers
+		if maxUseful := (n + frontierChunk - 1) / frontierChunk; nw > maxUseful {
+			nw = maxUseful
+		}
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for wi := 0; wi < nw; wi++ {
+			w := ws[wi]
+			w.trs = w.trs[:0]
+			wg.Add(1)
+			go func(windex int32, w *pworker) {
+				defer wg.Done()
+				for {
+					start := int(cursor.Add(frontierChunk)) - frontierChunk
+					if start >= n {
+						return
+					}
+					end := start + frontierChunk
+					if end > n {
+						end = n
+					}
+					for i := start; i < end; i++ {
+						decode(frontier[i], w.cur)
+						t0 := len(w.trs)
+						cnt := w.x.expandState(w.cur, w)
+						rows[i] = rowRef{
+							start:    t0,
+							end:      len(w.trs),
+							worker:   windex,
+							deadlock: cnt == 0 && !allDone(w.cur),
+						}
+					}
+				}
+			}(int32(wi), w)
+		}
+		wg.Wait()
+
+		// Merge phase: deterministic ID assignment and bulk CSR emission.
+		total := 0
+		for wi := 0; wi < nw; wi++ {
+			total += len(ws[wi].trs)
+		}
+		csr.Reserve(n, total)
+		for i := range rows {
+			r := &rows[i]
+			trs := ws[r.worker].trs[r.start:r.end]
+			row = row[:0]
+			for _, tr := range trs {
+				ent := tr.entry
+				if ent.id < 0 {
+					if len(keys) >= limit {
+						return nil, nil, &StateLimitError{Program: p.Name, Limit: limit}
+					}
+					ent.id = int32(len(keys))
+					keys = append(keys, ent.key)
+				}
+				act, lbl := ai.resolve(tr.sym)
+				row = append(row, lts.Transition{Action: act, Label: lbl, Dst: ent.id})
+			}
+			if err := csr.EmitRow(int32(lo+i), row); err != nil {
+				return nil, nil, err
+			}
+			if r.deadlock {
+				info.Deadlocks = append(info.Deadlocks, int32(lo+i))
+			}
+		}
+		lo = hi
+	}
+	return csr.Build(len(keys), 0), info, nil
+}

@@ -1,0 +1,183 @@
+package machine_test
+
+// Cross-validation of the parallel explorer against the sequential one:
+// the level-synchronized parallel BFS must produce an LTS that is
+// identical in every observable detail — state count, per-state successor
+// lists (actions, labels, destinations, order), alphabet interning and
+// deadlock info — for every registered benchmark, and the Table II
+// verdicts must not depend on the worker count.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/lts"
+	"repro/internal/machine"
+)
+
+// exploreWith runs one benchmark instance at the given worker count with
+// fresh alphabets.
+func exploreWith(t *testing.T, alg *algorithms.Algorithm, threads, ops, workers int) (*lts.LTS, *machine.Info) {
+	t.Helper()
+	prog := alg.Build(algorithms.Config{Threads: threads, Ops: ops})
+	l, info, err := machine.ExploreWithInfo(prog, machine.Options{
+		Threads: threads, Ops: ops, Workers: workers,
+	})
+	if err != nil {
+		t.Fatalf("%s (workers=%d): %v", alg.ID, workers, err)
+	}
+	return l, info
+}
+
+// assertSameLTS fails unless a and b are identical: same shape, same
+// per-state transition rows in the same order, and alphabets interned to
+// the same IDs.
+func assertSameLTS(t *testing.T, ctx string, a, b *lts.LTS) {
+	t.Helper()
+	if a.NumStates() != b.NumStates() {
+		t.Fatalf("%s: state count %d != %d", ctx, a.NumStates(), b.NumStates())
+	}
+	if a.NumTransitions() != b.NumTransitions() {
+		t.Fatalf("%s: transition count %d != %d", ctx, a.NumTransitions(), b.NumTransitions())
+	}
+	if a.Init != b.Init {
+		t.Fatalf("%s: init %d != %d", ctx, a.Init, b.Init)
+	}
+	if a.Acts.Len() != b.Acts.Len() {
+		t.Fatalf("%s: alphabet size %d != %d", ctx, a.Acts.Len(), b.Acts.Len())
+	}
+	for id := 0; id < a.Acts.Len(); id++ {
+		if a.Acts.Name(lts.ActionID(id)) != b.Acts.Name(lts.ActionID(id)) {
+			t.Fatalf("%s: action %d interned as %q vs %q", ctx, id,
+				a.Acts.Name(lts.ActionID(id)), b.Acts.Name(lts.ActionID(id)))
+		}
+	}
+	for s := int32(0); s < int32(a.NumStates()); s++ {
+		sa, sb := a.Succ(s), b.Succ(s)
+		if len(sa) != len(sb) {
+			t.Fatalf("%s: state %d has %d successors vs %d", ctx, s, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("%s: state %d transition %d: %+v vs %+v", ctx, s, i, sa[i], sb[i])
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequential checks, for every registered benchmark at
+// 2 threads x 2 ops, that parallel exploration reproduces the sequential
+// LTS exactly (including the deadlock list).
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, alg := range algorithms.All() {
+		alg := alg
+		t.Run(alg.ID, func(t *testing.T) {
+			t.Parallel()
+			seq, seqInfo := exploreWith(t, alg, 2, 2, 1)
+			for _, workers := range []int{2, 4} {
+				par, parInfo := exploreWith(t, alg, 2, 2, workers)
+				ctx := fmt.Sprintf("%s workers=%d", alg.ID, workers)
+				assertSameLTS(t, ctx, seq, par)
+				if len(seqInfo.Deadlocks) != len(parInfo.Deadlocks) {
+					t.Fatalf("%s: %d deadlocks vs %d", ctx, len(seqInfo.Deadlocks), len(parInfo.Deadlocks))
+				}
+				for i := range seqInfo.Deadlocks {
+					if seqInfo.Deadlocks[i] != parInfo.Deadlocks[i] {
+						t.Fatalf("%s: deadlock %d is state %d vs %d",
+							ctx, i, seqInfo.Deadlocks[i], parInfo.Deadlocks[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelVerdictsMatchSequential checks that the Table II verdicts
+// (linearizability for every benchmark, lock-freedom for the lock-free
+// ones) are identical under sequential and parallel exploration.
+func TestParallelVerdictsMatchSequential(t *testing.T) {
+	for _, alg := range algorithms.TableII() {
+		alg := alg
+		t.Run(alg.ID, func(t *testing.T) {
+			t.Parallel()
+			cfg := algorithms.Config{Threads: 2, Ops: 2}
+			seqC := core.Config{Threads: 2, Ops: 2, Workers: 1}
+			parC := core.Config{Threads: 2, Ops: 2, Workers: 4}
+			seqLin, err := core.CheckLinearizability(alg.Build(cfg), alg.Spec(cfg), seqC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parLin, err := core.CheckLinearizability(alg.Build(cfg), alg.Spec(cfg), parC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seqLin.Linearizable != parLin.Linearizable ||
+				seqLin.ImplStates != parLin.ImplStates ||
+				seqLin.ImplQuotientStates != parLin.ImplQuotientStates {
+				t.Fatalf("linearizability diverged: seq %+v par %+v", seqLin, parLin)
+			}
+			if alg.LockBased {
+				return
+			}
+			seqLF, err := core.CheckLockFreeAuto(alg.Build(cfg), seqC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parLF, err := core.CheckLockFreeAuto(alg.Build(cfg), parC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seqLF.LockFree != parLF.LockFree || seqLF.ImplStates != parLF.ImplStates {
+				t.Fatalf("lock-freedom diverged: seq %+v par %+v", seqLF, parLF)
+			}
+		})
+	}
+}
+
+// TestParallelStress drives the parallel explorer at worker counts well
+// above the core count on a larger instance, so the race detector sees
+// heavy shard-table and frontier contention.
+func TestParallelStress(t *testing.T) {
+	alg, err := algorithms.ByID("ms-queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads, ops := 2, 2
+	seq, _ := exploreWith(t, alg, threads, ops, 1)
+	for _, workers := range []int{3, 8, 4 * runtime.GOMAXPROCS(0)} {
+		par, _ := exploreWith(t, alg, threads, ops, workers)
+		assertSameLTS(t, fmt.Sprintf("ms-queue workers=%d", workers), seq, par)
+	}
+}
+
+// TestParallelStateLimit checks that the parallel explorer reports the
+// same budget error as the sequential one and that a budget equal to the
+// state count succeeds.
+func TestParallelStateLimit(t *testing.T) {
+	alg, err := algorithms.ByID("treiber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := alg.Build(algorithms.Config{Threads: 2, Ops: 1})
+	exact, err := machine.Explore(prog, machine.Options{Threads: 2, Ops: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := exact.NumStates()
+	for _, workers := range []int{1, 4} {
+		if _, err := machine.Explore(prog, machine.Options{Threads: 2, Ops: 1, Workers: workers, MaxStates: n}); err != nil {
+			t.Fatalf("workers=%d: budget of exactly %d states should succeed: %v", workers, n, err)
+		}
+		_, err := machine.Explore(prog, machine.Options{Threads: 2, Ops: 1, Workers: workers, MaxStates: n - 1})
+		lim, ok := err.(*machine.StateLimitError)
+		if !ok {
+			t.Fatalf("workers=%d: expected StateLimitError at budget %d, got %v", workers, n-1, err)
+		}
+		if lim.Limit != n-1 {
+			t.Fatalf("workers=%d: error reports limit %d, want %d", workers, lim.Limit, n-1)
+		}
+	}
+}
