@@ -34,7 +34,10 @@
 package bbv
 
 import (
+	"context"
+
 	"repro/internal/algorithms"
+	"repro/internal/api"
 	"repro/internal/bisim"
 	"repro/internal/core"
 	"repro/internal/exhibits"
@@ -66,6 +69,24 @@ func (i Instance) core() core.Config {
 	return core.Config{Threads: i.Threads, Ops: i.Ops, MaxStates: i.MaxStates, Workers: i.Workers}
 }
 
+// CacheKey returns the canonical content hash under which the bbvd
+// verification service caches a job of the given kind ("check",
+// "explore" or "ktrace") on algorithmID with this instance. Two
+// instances that can only differ in wall-clock behaviour — Workers —
+// share a key; instances that can differ in outcome (Threads, Ops,
+// MaxStates, Vals) do not.
+func (i Instance) CacheKey(kind, algorithmID string) string {
+	return api.JobSpec{
+		Kind:      kind,
+		Algorithm: algorithmID,
+		Threads:   i.Threads,
+		Ops:       i.Ops,
+		MaxStates: i.MaxStates,
+		Workers:   i.Workers,
+		Vals:      i.Vals,
+	}.CacheKey()
+}
+
 // Program is a concurrent object model; see machine.Program for how to
 // define one.
 type Program = machine.Program
@@ -93,6 +114,15 @@ func CheckLinearizability(impl, spec *Program, in Instance) (*LinearizabilityRes
 	return core.CheckLinearizability(impl, spec, in.core())
 }
 
+// CheckLinearizabilityContext is CheckLinearizability with cancellation:
+// when ctx is canceled or times out, exploration and refinement stop
+// promptly and a typed cancellation error (machine.CanceledError or
+// bisim.CanceledError, both unwrapping to the context cause) is
+// returned.
+func CheckLinearizabilityContext(ctx context.Context, impl, spec *Program, in Instance) (*LinearizabilityResult, error) {
+	return core.CheckLinearizabilityContext(ctx, impl, spec, in.core())
+}
+
 // CheckLockFree verifies lock-freedom fully automatically by comparing
 // the object with its own branching-bisimulation quotient under
 // divergence-sensitive branching bisimilarity (Theorem 5.9).
@@ -100,10 +130,21 @@ func CheckLockFree(impl *Program, in Instance) (*LockFreedomResult, error) {
 	return core.CheckLockFreeAuto(impl, in.core())
 }
 
+// CheckLockFreeContext is CheckLockFree with cancellation.
+func CheckLockFreeContext(ctx context.Context, impl *Program, in Instance) (*LockFreedomResult, error) {
+	return core.CheckLockFreeAutoContext(ctx, impl, in.core())
+}
+
 // CheckLockFreeAbstract verifies lock-freedom against a hand-written
 // abstract program (Theorem 5.8).
 func CheckLockFreeAbstract(impl, abstract *Program, in Instance) (*LockFreedomResult, error) {
 	return core.CheckLockFreeAbstract(impl, abstract, in.core())
+}
+
+// CheckLockFreeAbstractContext is CheckLockFreeAbstract with
+// cancellation.
+func CheckLockFreeAbstractContext(ctx context.Context, impl, abstract *Program, in Instance) (*LockFreedomResult, error) {
+	return core.CheckLockFreeAbstractContext(ctx, impl, abstract, in.core())
 }
 
 // DeadlockResult reports a deadlock-freedom check.
@@ -114,6 +155,11 @@ type DeadlockResult = core.DeadlockResult
 // for lock-based objects.
 func CheckDeadlockFree(impl *Program, in Instance) (*DeadlockResult, error) {
 	return core.CheckDeadlockFree(impl, in.core())
+}
+
+// CheckDeadlockFreeContext is CheckDeadlockFree with cancellation.
+func CheckDeadlockFreeContext(ctx context.Context, impl *Program, in Instance) (*DeadlockResult, error) {
+	return core.CheckDeadlockFreeContext(ctx, impl, in.core())
 }
 
 // Exhibit regenerates one table or figure of the paper.
@@ -155,6 +201,11 @@ type EquivalenceReport = core.EquivalenceReport
 // Δ ~br Θsp (on the quotients, which is sound).
 func CompareWithSpec(impl, spec *Program, in Instance) (*EquivalenceReport, error) {
 	return core.CompareWithSpec(impl, spec, in.core())
+}
+
+// CompareWithSpecContext is CompareWithSpec with cancellation.
+func CompareWithSpecContext(ctx context.Context, impl, spec *Program, in Instance) (*EquivalenceReport, error) {
+	return core.CompareWithSpecContext(ctx, impl, spec, in.core())
 }
 
 // Explanation describes why two systems are not branching bisimilar.

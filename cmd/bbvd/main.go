@@ -1,0 +1,105 @@
+// Command bbvd is the verification daemon: it serves the packaged
+// branching-bisimulation checks over HTTP with a bounded job queue, a
+// worker pool, and a content-addressed result cache, so parameter sweeps
+// and repeated CI checks hit the cache instead of re-exploring.
+//
+//	bbvd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	     [-job-timeout 5m] [-max-states N]
+//
+// API (JSON unless noted):
+//
+//	POST   /v1/jobs        submit {"kind":"check|explore|ktrace","algorithm":"ms-queue","threads":2,"ops":2}
+//	GET    /v1/jobs/{id}   poll status; "done" carries the result, counterexamples included
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/jobs        list retained jobs
+//	GET    /v1/algorithms  the algorithm registry
+//	GET    /healthz        liveness
+//	GET    /metrics        counters (Prometheus text format)
+//
+// SIGINT/SIGTERM triggers graceful shutdown: intake stops, running jobs
+// drain, and after -drain-timeout stragglers are canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "verification workers (0 = all cores)")
+	queue := flag.Int("queue", 64, "bounded job-queue depth")
+	cache := flag.Int("cache", 256, "result-cache capacity (LRU entries)")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job timeout (0 = none; jobs may set a shorter timeout_ms)")
+	maxStates := flag.Int("max-states", 0, "state-budget cap applied to every job (0 = library default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs before canceling them")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *jobTimeout,
+		MaxStates:      *maxStates,
+	}
+	if err := run(ctx, cfg, *addr, *drainTimeout, nil); err != nil {
+		log.Fatal("bbvd: ", err)
+	}
+}
+
+// run starts the service on addr and blocks until ctx is canceled, then
+// shuts down gracefully: HTTP intake first, then the job queue, with
+// stragglers canceled after drainTimeout. When ready is non-nil it
+// receives the bound listen address once the server is accepting.
+func run(ctx context.Context, cfg serve.Config, addr string, drainTimeout time.Duration, ready chan<- string) error {
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	eff := s.Config()
+	log.Printf("bbvd: serving on %s (%d workers, queue %d, cache %d)",
+		ln.Addr(), eff.Workers, eff.QueueDepth, eff.CacheSize)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("bbvd: shutting down, draining jobs")
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelHTTP()
+	if err := hs.Shutdown(httpCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	if err := s.Shutdown(drainCtx); err != nil {
+		log.Printf("bbvd: drain timed out, in-flight jobs canceled (%v)", err)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestRunServesAndShutsDown boots the daemon on an ephemeral port,
+// verifies liveness over HTTP, and checks that canceling the run
+// context shuts it down cleanly.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, serve.Config{Workers: 1}, "127.0.0.1:0", 5*time.Second, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]string
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after context cancellation")
+	}
+}
+
+// TestRunBadAddr pins that an unusable listen address fails fast.
+func TestRunBadAddr(t *testing.T) {
+	err := run(context.Background(), serve.Config{Workers: 1}, "256.256.256.256:0", time.Second, nil)
+	if err == nil {
+		t.Fatal("bad listen address must error")
+	}
+}

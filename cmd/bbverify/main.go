@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/algorithms"
+	"repro/internal/api"
 	"repro/internal/bisim"
 	"repro/internal/core"
 	"repro/internal/ktrace"
@@ -72,7 +75,8 @@ func usage() {
 
 subcommands:
   list                         list the packaged algorithms
-  check   [flags] <algorithm>  verify linearizability (Thm 5.3) and lock-freedom (Thm 5.9)
+  check   [flags] <algorithm>  verify linearizability (Thm 5.3) and lock-freedom (Thm 5.9);
+                               -json emits the bbvd service's result schema
   explore [flags] <algorithm>  generate the state space and its quotient
   ktrace  [flags] <algorithm>  classify tau steps in the k-trace hierarchy (Table I)
   compare [flags] <algorithm>  compare the object with its specification under
@@ -150,9 +154,27 @@ func (c *commonFlags) parse(args []string) (*algorithms.Algorithm, algorithms.Co
 
 func check(args []string) error {
 	cf := newFlags("check")
+	jsonOut := cf.fs.Bool("json", false, "emit the result as JSON (the same schema the bbvd service returns)")
 	alg, acfg, ccfg, err := cf.parse(args)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		res, err := api.Run(context.Background(), api.JobSpec{
+			Kind:      api.KindCheck,
+			Algorithm: alg.ID,
+			Threads:   ccfg.Threads,
+			Ops:       ccfg.Ops,
+			MaxStates: ccfg.MaxStates,
+			Workers:   ccfg.Workers,
+			Vals:      acfg.Vals,
+		})
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
 	}
 	fmt.Printf("== %s (%d threads x %d ops) ==\n", alg.Display, ccfg.Threads, ccfg.Ops)
 

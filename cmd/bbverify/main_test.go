@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/api"
 )
 
 func TestRunUsageAndList(t *testing.T) {
@@ -130,5 +134,45 @@ func TestRunSweep(t *testing.T) {
 	// A tiny budget reports the cap instead of erroring.
 	if err := run([]string{"sweep", "-threads", "2", "-ops-max", "3", "-max-states", "50", "treiber"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunCheckJSON pins the -json output: it must be the bbvd service's
+// result schema (api.Result), machine-parseable from stdout.
+func TestRunCheckJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"check", "-json", "-threads", "2", "-ops", "1", "treiber"})
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res api.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("check -json output is not an api.Result: %v\n%s", err, raw)
+	}
+	if res.Spec.Kind != api.KindCheck || res.Spec.Algorithm != "treiber" {
+		t.Fatalf("result echoes the wrong spec: %+v", res.Spec)
+	}
+	if res.Check == nil || !res.Check.Linearizable {
+		t.Fatalf("treiber 2x1 must report linearizable: %+v", res.Check)
+	}
+	if res.Check.LockFree == nil || !*res.Check.LockFree {
+		t.Fatalf("treiber 2x1 must report lock-free: %+v", res.Check)
+	}
+	if !strings.Contains(string(raw), `"linearizable"`) {
+		t.Fatal("JSON field names must match the service wire format")
 	}
 }

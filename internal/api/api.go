@@ -1,0 +1,368 @@
+// Package api defines the machine-readable job and result schema shared
+// by the bbverify CLI (`check -json`) and the bbvd verification service:
+// the JobSpec a client submits, the canonical content hash under which
+// results are cached, the Result JSON both front ends emit, and the
+// runner that executes a job with cancellation. Keeping the schema in one
+// place makes CLI and server outputs byte-diffable.
+package api
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/algorithms"
+	"repro/internal/bisim"
+	"repro/internal/core"
+	"repro/internal/ktrace"
+	"repro/internal/lts"
+	"repro/internal/machine"
+)
+
+// Job kinds accepted by Run and the bbvd service.
+const (
+	KindCheck   = "check"
+	KindExplore = "explore"
+	KindKTrace  = "ktrace"
+)
+
+// JobSpec is one verification request: which packaged algorithm to run,
+// the instance bounds, and how to run it. Workers and TimeoutMS tune the
+// execution only — the produced result is identical for every value (the
+// explorer is deterministic per worker count), so neither enters the
+// cache key.
+type JobSpec struct {
+	// Kind selects the analysis: "check", "explore" or "ktrace".
+	Kind string `json:"kind"`
+	// Algorithm is a registry ID (see bbverify list or GET /v1/algorithms).
+	Algorithm string `json:"algorithm"`
+	// Threads and Ops bound the most general client; 0 defaults to 2.
+	Threads int `json:"threads"`
+	Ops     int `json:"ops"`
+	// MaxStates caps exploration; 0 uses machine.DefaultMaxStates.
+	MaxStates int `json:"max_states,omitempty"`
+	// Workers is the exploration worker count (0 = all cores); it never
+	// changes the result, only wall-clock time.
+	Workers int `json:"workers,omitempty"`
+	// Vals overrides the data-value universe (nil = the registry default
+	// {1, 2}).
+	Vals []int32 `json:"vals,omitempty"`
+	// TimeoutMS bounds the job's run time in milliseconds (0 = the
+	// server's default; ignored by the CLI).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Normalize fills defaulted fields in place so equal requests compare
+// equal: zero Threads/Ops become the conventional 2x2 instance.
+func (s *JobSpec) Normalize() {
+	if s.Threads == 0 {
+		s.Threads = 2
+	}
+	if s.Ops == 0 {
+		s.Ops = 2
+	}
+}
+
+// Validate rejects malformed specs before they reach a worker.
+func (s *JobSpec) Validate() error {
+	switch s.Kind {
+	case KindCheck, KindExplore, KindKTrace:
+	default:
+		return fmt.Errorf("api: unknown job kind %q (want check, explore or ktrace)", s.Kind)
+	}
+	if s.Threads <= 0 || s.Ops <= 0 {
+		return fmt.Errorf("api: threads and ops must be positive (got %d x %d)", s.Threads, s.Ops)
+	}
+	if s.MaxStates < 0 || s.Workers < 0 || s.TimeoutMS < 0 {
+		return fmt.Errorf("api: max_states, workers and timeout_ms must be non-negative")
+	}
+	if _, err := algorithms.ByID(s.Algorithm); err != nil {
+		return fmt.Errorf("api: %w", err)
+	}
+	return nil
+}
+
+// CacheKey returns the canonical content hash of the job: a sha256 over
+// every field that can influence the produced result — kind, algorithm,
+// threads, ops, the effective state budget and the effective value
+// universe. Workers is deliberately excluded (the explorer produces a
+// byte-identical LTS for every worker count), as is TimeoutMS (a timeout
+// either cancels the job or leaves the result untouched). Defaulted
+// fields are normalized first, so {MaxStates: 0} and {MaxStates:
+// machine.DefaultMaxStates} — and nil Vals versus the explicit default
+// {1, 2} — hash identically.
+func (s JobSpec) CacheKey() string {
+	max := s.MaxStates
+	if max <= 0 {
+		max = machine.DefaultMaxStates
+	}
+	vals := s.Vals
+	if len(vals) == 0 {
+		vals = algorithms.Config{}.Values()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "bbv-job-v1\x00kind=%s\x00alg=%s\x00threads=%d\x00ops=%d\x00max=%d\x00vals=",
+		s.Kind, s.Algorithm, s.Threads, s.Ops, max)
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func (s JobSpec) algorithmConfig() algorithms.Config {
+	return algorithms.Config{Threads: s.Threads, Ops: s.Ops, Vals: s.Vals}
+}
+
+func (s JobSpec) coreConfig() core.Config {
+	return core.Config{Threads: s.Threads, Ops: s.Ops, MaxStates: s.MaxStates, Workers: s.Workers}
+}
+
+// PathJSON is a diagnostic path (divergence lasso or deadlock witness) in
+// wire form: one "action  [label]" step per entry, with CycleStart the
+// index at which a lasso cycle begins (-1 when the path is a plain
+// prefix).
+type PathJSON struct {
+	Steps      []string `json:"steps"`
+	CycleStart int      `json:"cycle_start"`
+}
+
+func pathJSON(p *lts.Path) *PathJSON {
+	if p == nil {
+		return nil
+	}
+	out := &PathJSON{CycleStart: p.Cycle, Steps: make([]string, 0, len(p.Steps))}
+	for _, st := range p.Steps {
+		line := p.L.Acts.Name(st.Action)
+		if lbl := p.L.LabelName(st.Label); lbl != "" {
+			line += "  [" + lbl + "]"
+		}
+		out.Steps = append(out.Steps, line)
+	}
+	return out
+}
+
+// CheckResult is the "check" analysis: linearizability (Theorem 5.3)
+// plus lock-freedom (Theorem 5.9) for lock-free algorithms or
+// deadlock-freedom for the lock-based ones.
+type CheckResult struct {
+	Linearizable bool `json:"linearizable"`
+	// LinCounterexample is a non-linearizable history; its last action is
+	// the one the specification cannot match.
+	LinCounterexample  []string  `json:"linearizability_counterexample,omitempty"`
+	ImplStates         int       `json:"impl_states"`
+	SpecStates         int       `json:"spec_states"`
+	ImplQuotientStates int       `json:"impl_quotient_states"`
+	SpecQuotientStates int       `json:"spec_quotient_states"`
+	LockBased          bool      `json:"lock_based"`
+	LockFree           *bool     `json:"lock_free,omitempty"`
+	LockFreeTheorem    string    `json:"lock_free_theorem,omitempty"`
+	Divergence         *PathJSON `json:"divergence,omitempty"`
+	DeadlockFree       *bool     `json:"deadlock_free,omitempty"`
+	DeadlockWitness    *PathJSON `json:"deadlock_witness,omitempty"`
+}
+
+// ExploreResult is the "explore" analysis: state-space and quotient sizes.
+type ExploreResult struct {
+	States              int  `json:"states"`
+	Transitions         int  `json:"transitions"`
+	TauTransitions      int  `json:"tau_transitions"`
+	QuotientStates      int  `json:"quotient_states"`
+	QuotientTransitions int  `json:"quotient_transitions"`
+	Divergent           bool `json:"divergent"`
+	DeadlockStates      int  `json:"deadlock_states"`
+}
+
+// KTraceResult is the "ktrace" analysis: the ≡ₖ hierarchy of the
+// quotient (Table I).
+type KTraceResult struct {
+	States         int    `json:"states"`
+	QuotientStates int    `json:"quotient_states"`
+	Cap            int    `json:"cap"`
+	Converged      bool   `json:"converged"`
+	LevelClasses   []int  `json:"level_classes"`
+	Neq1Label      string `json:"neq1_label,omitempty"`
+	Eq1Neq2Label   string `json:"eq1_neq2_label,omitempty"`
+}
+
+// Result is the outcome of one job; exactly one of Check, Explore and
+// KTrace is set, matching Spec.Kind.
+type Result struct {
+	Spec      JobSpec        `json:"spec"`
+	Check     *CheckResult   `json:"check,omitempty"`
+	Explore   *ExploreResult `json:"explore,omitempty"`
+	KTrace    *KTraceResult  `json:"ktrace,omitempty"`
+	ElapsedMS int64          `json:"elapsed_ms"`
+}
+
+// StatesExplored totals the raw state-space sizes the job generated, for
+// the service's states-explored metric.
+func (r *Result) StatesExplored() int64 {
+	switch {
+	case r.Check != nil:
+		return int64(r.Check.ImplStates + r.Check.SpecStates)
+	case r.Explore != nil:
+		return int64(r.Explore.States)
+	case r.KTrace != nil:
+		return int64(r.KTrace.States)
+	}
+	return 0
+}
+
+// Run executes the job described by spec, polling ctx throughout: a
+// canceled or timed-out context aborts exploration and refinement
+// promptly with a typed cancellation error (machine.CanceledError or
+// bisim.CanceledError, both unwrapping to the context cause). The spec
+// is normalized and validated first.
+func Run(ctx context.Context, spec JobSpec) (*Result, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	alg, err := algorithms.ByID(spec.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: spec}
+	switch spec.Kind {
+	case KindCheck:
+		res.Check, err = runCheck(ctx, alg, spec)
+	case KindExplore:
+		res.Explore, err = runExplore(ctx, alg, spec)
+	case KindKTrace:
+		res.KTrace, err = runKTrace(ctx, alg, spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runCheck(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (*CheckResult, error) {
+	acfg := spec.algorithmConfig()
+	ccfg := spec.coreConfig()
+	lin, err := core.CheckLinearizabilityContext(ctx, alg.Build(acfg), alg.Spec(acfg), ccfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &CheckResult{
+		Linearizable:       lin.Linearizable,
+		ImplStates:         lin.ImplStates,
+		SpecStates:         lin.SpecStates,
+		ImplQuotientStates: lin.ImplQuotientStates,
+		SpecQuotientStates: lin.SpecQuotient,
+		LockBased:          alg.LockBased,
+	}
+	if lin.Counterexample != nil {
+		out.LinCounterexample = lin.Counterexample.Trace
+	}
+	if alg.LockBased {
+		dl, err := core.CheckDeadlockFreeContext(ctx, alg.Build(acfg), ccfg)
+		if err != nil {
+			return nil, err
+		}
+		out.DeadlockFree = &dl.DeadlockFree
+		out.DeadlockWitness = pathJSON(dl.Witness)
+		return out, nil
+	}
+	lf, err := core.CheckLockFreeAutoContext(ctx, alg.Build(acfg), ccfg)
+	if err != nil {
+		return nil, err
+	}
+	out.LockFree = &lf.LockFree
+	out.LockFreeTheorem = lf.Theorem
+	out.Divergence = pathJSON(lf.Divergence)
+	return out, nil
+}
+
+func runExplore(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (*ExploreResult, error) {
+	l, info, err := machine.ExploreWithInfoContext(ctx, alg.Build(spec.algorithmConfig()), machine.Options{
+		Threads: spec.Threads, Ops: spec.Ops, MaxStates: spec.MaxStates, Workers: spec.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	q, _, err := bisim.ReduceBranchingContext(ctx, l)
+	if err != nil {
+		return nil, err
+	}
+	_, divergent := lts.HasTauCycle(l)
+	return &ExploreResult{
+		States:              l.NumStates(),
+		Transitions:         l.NumTransitions(),
+		TauTransitions:      l.CountTau(),
+		QuotientStates:      q.NumStates(),
+		QuotientTransitions: q.NumTransitions(),
+		Divergent:           divergent,
+		DeadlockStates:      len(info.Deadlocks),
+	}, nil
+}
+
+// ktraceMaxK bounds the hierarchy computation, matching the bbverify
+// ktrace default.
+const ktraceMaxK = 5
+
+func runKTrace(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (*KTraceResult, error) {
+	l, err := machine.ExploreContext(ctx, alg.Build(spec.algorithmConfig()), machine.Options{
+		Threads: spec.Threads, Ops: spec.Ops, MaxStates: spec.MaxStates, Workers: spec.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	q, _, err := bisim.ReduceBranchingContext(ctx, l)
+	if err != nil {
+		return nil, err
+	}
+	an := ktrace.Analyze(q, ktraceMaxK)
+	cls := ktrace.Classify(q, an)
+	out := &KTraceResult{
+		States:         l.NumStates(),
+		QuotientStates: q.NumStates(),
+		Cap:            an.Cap,
+		Converged:      an.Converged,
+	}
+	for _, p := range an.Partitions {
+		out.LevelClasses = append(out.LevelClasses, p.Num)
+	}
+	if cls.Neq1 != nil {
+		out.Neq1Label = q.LabelName(cls.Neq1.Label)
+	}
+	if cls.Eq1Neq2 != nil {
+		out.Eq1Neq2Label = q.LabelName(cls.Eq1Neq2.Label)
+	}
+	return out, nil
+}
+
+// AlgorithmInfo describes one registry entry for GET /v1/algorithms.
+type AlgorithmInfo struct {
+	ID                 string `json:"id"`
+	Display            string `json:"display"`
+	Ref                string `json:"ref,omitempty"`
+	LockBased          bool   `json:"lock_based"`
+	Extension          bool   `json:"extension"`
+	ExpectLinearizable bool   `json:"expect_linearizable"`
+	ExpectLockFree     bool   `json:"expect_lock_free"`
+}
+
+// ListAlgorithms returns the packaged registry in paper order.
+func ListAlgorithms() []AlgorithmInfo {
+	all := algorithms.All()
+	out := make([]AlgorithmInfo, 0, len(all))
+	for _, a := range all {
+		out = append(out, AlgorithmInfo{
+			ID:                 a.ID,
+			Display:            a.Display,
+			Ref:                a.Ref,
+			LockBased:          a.LockBased,
+			Extension:          a.Extension,
+			ExpectLinearizable: a.ExpectLinearizable,
+			ExpectLockFree:     a.ExpectLockFree,
+		})
+	}
+	return out
+}

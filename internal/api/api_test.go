@@ -1,0 +1,152 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestCacheKeyWorkersIndependent pins the cache-key contract of the bbvd
+// service: the parallel explorer produces a byte-identical LTS for every
+// worker count, so two specs differing only in Workers (or TimeoutMS)
+// MUST share a cache key, while any field that can change the result —
+// the value universe above all — must split it.
+func TestCacheKeyWorkersIndependent(t *testing.T) {
+	base := JobSpec{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 2}
+	key := base.CacheKey()
+
+	for _, workers := range []int{1, 2, 7, 48} {
+		s := base
+		s.Workers = workers
+		if got := s.CacheKey(); got != key {
+			t.Errorf("Workers=%d changed the cache key: %s vs %s", workers, got, key)
+		}
+	}
+	timed := base
+	timed.TimeoutMS = 1234
+	if got := timed.CacheKey(); got != key {
+		t.Errorf("TimeoutMS changed the cache key")
+	}
+
+	vals := base
+	vals.Vals = []int32{1, 2, 3}
+	if got := vals.CacheKey(); got == key {
+		t.Error("a different value universe must change the cache key")
+	}
+}
+
+// TestCacheKeyNormalization pins that defaulted and explicit spellings
+// of the same job hash identically, and every result-bearing field
+// splits the key.
+func TestCacheKeyNormalization(t *testing.T) {
+	base := JobSpec{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 2}
+	key := base.CacheKey()
+
+	explicitVals := base
+	explicitVals.Vals = []int32{1, 2}
+	if got := explicitVals.CacheKey(); got != key {
+		t.Error("nil Vals and the explicit default {1,2} must hash identically")
+	}
+	explicitMax := base
+	explicitMax.MaxStates = machine.DefaultMaxStates
+	if got := explicitMax.CacheKey(); got != key {
+		t.Error("MaxStates 0 and the explicit default must hash identically")
+	}
+
+	for name, mut := range map[string]func(*JobSpec){
+		"kind":       func(s *JobSpec) { s.Kind = KindExplore },
+		"algorithm":  func(s *JobSpec) { s.Algorithm = "ms-queue" },
+		"threads":    func(s *JobSpec) { s.Threads = 3 },
+		"ops":        func(s *JobSpec) { s.Ops = 3 },
+		"max_states": func(s *JobSpec) { s.MaxStates = 1000 },
+		"vals_order": func(s *JobSpec) { s.Vals = []int32{2, 1} },
+	} {
+		s := base
+		mut(&s)
+		if s.CacheKey() == key {
+			t.Errorf("mutating %s must change the cache key", name)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, bad := range []JobSpec{
+		{Kind: "bogus", Algorithm: "treiber", Threads: 2, Ops: 2},
+		{Kind: KindCheck, Algorithm: "no-such-alg", Threads: 2, Ops: 2},
+		{Kind: KindCheck, Algorithm: "treiber", Threads: -1, Ops: 2},
+		{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 2, TimeoutMS: -5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("spec %+v must not validate", bad)
+		}
+	}
+	ok := JobSpec{Kind: KindKTrace, Algorithm: "treiber", Threads: 2, Ops: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestRunKinds exercises each job kind on a small passing instance and
+// the check kind on the paper's buggy HM list, whose counterexample must
+// ride along in the result.
+func TestRunKinds(t *testing.T) {
+	ctx := context.Background()
+
+	res, err := Run(ctx, JobSpec{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Check == nil || !res.Check.Linearizable || res.Check.LockFree == nil || !*res.Check.LockFree {
+		t.Fatalf("treiber 2x1 must pass both checks: %+v", res.Check)
+	}
+	if res.StatesExplored() <= 0 {
+		t.Error("check result must report explored states")
+	}
+
+	res, err = Run(ctx, JobSpec{Kind: KindExplore, Algorithm: "treiber", Threads: 2, Ops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explore == nil || res.Explore.States == 0 || res.Explore.QuotientStates == 0 {
+		t.Fatalf("explore result incomplete: %+v", res.Explore)
+	}
+
+	res, err = Run(ctx, JobSpec{Kind: KindKTrace, Algorithm: "treiber", Threads: 2, Ops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KTrace == nil || !res.KTrace.Converged {
+		t.Fatalf("ktrace result incomplete: %+v", res.KTrace)
+	}
+
+	res, err = Run(ctx, JobSpec{Kind: KindCheck, Algorithm: "hm-list-buggy", Threads: 2, Ops: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Check.Linearizable {
+		t.Fatal("the buggy HM list must not be linearizable")
+	}
+	if len(res.Check.LinCounterexample) == 0 {
+		t.Fatal("a failing check must carry the counterexample history")
+	}
+}
+
+// TestRunCanceled pins that a canceled context aborts a job with a typed
+// cancellation error that unwraps to context.Canceled.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, JobSpec{Kind: KindCheck, Algorithm: "ms-queue", Threads: 2, Ops: 2})
+	if err == nil {
+		t.Fatal("run under a canceled context must fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v must unwrap to context.Canceled", err)
+	}
+	var ce *machine.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v must carry machine.CanceledError", err)
+	}
+}

@@ -1,6 +1,7 @@
 package bisim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -163,7 +164,7 @@ func TestKindString(t *testing.T) {
 			t.Errorf("Kind %d String = %q, want %q", int(k), got, want)
 		}
 	}
-	if _, err := partition(buildLTS(t, lts.NewAlphabet(), 0, nil), Kind(99)); err == nil {
+	if _, err := partition(context.Background(), buildLTS(t, lts.NewAlphabet(), 0, nil), Kind(99)); err == nil {
 		t.Fatal("unknown kind must error")
 	}
 }

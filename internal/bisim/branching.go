@@ -1,10 +1,38 @@
 package bisim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/lts"
 )
+
+// CanceledError reports that a partition-refinement computation was
+// abandoned because its context was canceled or its deadline expired. It
+// unwraps to the context cause, so errors.Is(err, context.Canceled)
+// works as expected.
+type CanceledError struct {
+	// Stage names the interrupted computation (e.g. "branching
+	// refinement").
+	Stage string
+	Cause error
+}
+
+// Error implements the error interface.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("bisim: %s canceled: %v", e.Stage, e.Cause)
+}
+
+// Unwrap exposes the context cause.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// checkCtx returns the typed cancellation error when ctx is done.
+func checkCtx(ctx context.Context, stage string) error {
+	if ctx.Err() != nil {
+		return &CanceledError{Stage: stage, Cause: context.Cause(ctx)}
+	}
+	return nil
+}
 
 // divergenceAction is the synthetic visible action used to encode
 // divergence when computing divergence-sensitive branching bisimulation.
@@ -26,16 +54,30 @@ func checkDivergenceReserve(n int) {
 // Branching computes the branching bisimulation partition of l
 // (the relation ≈ of Definition 4.1, in its standard stuttering form).
 func Branching(l *lts.LTS) *Partition {
-	return branching(l, false)
+	p, _ := BranchingContext(context.Background(), l)
+	return p
+}
+
+// BranchingContext is Branching with cancellation: the refinement loop
+// polls ctx once per round and returns a *CanceledError when it is done.
+func BranchingContext(ctx context.Context, l *lts.LTS) (*Partition, error) {
+	return branching(ctx, l, false)
 }
 
 // DivergenceSensitiveBranching computes the divergence-sensitive branching
 // bisimulation partition of l (the relation ≈div of Definition 5.5).
 func DivergenceSensitiveBranching(l *lts.LTS) *Partition {
-	return branching(l, true)
+	p, _ := DivergenceSensitiveBranchingContext(context.Background(), l)
+	return p
 }
 
-func branching(l *lts.LTS, divSensitive bool) *Partition {
+// DivergenceSensitiveBranchingContext is DivergenceSensitiveBranching
+// with cancellation.
+func DivergenceSensitiveBranchingContext(ctx context.Context, l *lts.LTS) (*Partition, error) {
+	return branching(ctx, l, true)
+}
+
+func branching(ctx context.Context, l *lts.LTS, divSensitive bool) (*Partition, error) {
 	if divSensitive {
 		checkDivergenceReserve(l.Acts.Len())
 	}
@@ -50,13 +92,16 @@ func branching(l *lts.LTS, divSensitive bool) *Partition {
 			}
 		}
 	}
-	cp := branchingOnDAG(collapsed, divergent)
+	cp, err := branchingOnDAG(ctx, collapsed, divergent)
+	if err != nil {
+		return nil, err
+	}
 	// Map the collapsed partition back to the original states.
 	blockOf := make([]int32, l.NumStates())
 	for s := range blockOf {
 		blockOf[s] = cp.BlockOf[stateOf[s]]
 	}
-	return &Partition{BlockOf: blockOf, Num: cp.Num}
+	return &Partition{BlockOf: blockOf, Num: cp.Num}, nil
 }
 
 // branchingOnDAG runs signature refinement on a τ-acyclic LTS. The τ-SCC
@@ -72,12 +117,15 @@ func branching(l *lts.LTS, divSensitive bool) *Partition {
 // where ⇒ᵢ is any sequence of inert τ steps (staying inside P(s)).
 // States marked divergent additionally contribute (δ, P(s)), encoding a
 // visible δ self-loop.
-func branchingOnDAG(l *lts.LTS, divergent []bool) *Partition {
+func branchingOnDAG(ctx context.Context, l *lts.LTS, divergent []bool) (*Partition, error) {
 	n := l.NumStates()
 	p := uniform(n)
 	table := newSigTable(n)
 	sigs := make([][]uint64, n)
 	for {
+		if err := checkCtx(ctx, "branching refinement"); err != nil {
+			return nil, err
+		}
 		table.reset()
 		next := make([]int32, n)
 		for s := 0; s < n; s++ {
@@ -103,7 +151,7 @@ func branchingOnDAG(l *lts.LTS, divergent []bool) *Partition {
 		}
 		num := len(table.keys)
 		if num == p.Num {
-			return p
+			return p, nil
 		}
 		p = &Partition{BlockOf: next, Num: num}
 	}

@@ -18,6 +18,7 @@
 package bisim
 
 import (
+	"context"
 	"encoding/binary"
 	"sort"
 
@@ -94,11 +95,21 @@ func sortDedup(sig []uint64) []uint64 {
 // Strong computes the strong bisimulation partition of l: τ is treated as
 // an ordinary action.
 func Strong(l *lts.LTS) *Partition {
+	p, _ := StrongContext(context.Background(), l)
+	return p
+}
+
+// StrongContext is Strong with cancellation: the refinement loop polls
+// ctx once per round and returns a *CanceledError when it is done.
+func StrongContext(ctx context.Context, l *lts.LTS) (*Partition, error) {
 	n := l.NumStates()
 	p := uniform(n)
 	table := newSigTable(n)
 	var sig []uint64
 	for {
+		if err := checkCtx(ctx, "strong refinement"); err != nil {
+			return nil, err
+		}
 		table.reset()
 		next := make([]int32, n)
 		for s := 0; s < n; s++ {
@@ -111,7 +122,7 @@ func Strong(l *lts.LTS) *Partition {
 		}
 		num := len(table.keys)
 		if num == p.Num {
-			return p
+			return p, nil
 		}
 		p = &Partition{BlockOf: next, Num: num}
 	}

@@ -1,6 +1,7 @@
 package bisim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/lts"
@@ -43,6 +44,20 @@ func ReduceBranching(l *lts.LTS) (*lts.LTS, *Partition) {
 	return Quotient(l, p), p
 }
 
+// ReduceBranchingContext is ReduceBranching with cancellation: the
+// refinement loop polls ctx and the quotient is only built when
+// refinement ran to completion.
+func ReduceBranchingContext(ctx context.Context, l *lts.LTS) (*lts.LTS, *Partition, error) {
+	p, err := BranchingContext(ctx, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := checkCtx(ctx, "quotient construction"); err != nil {
+		return nil, nil, err
+	}
+	return Quotient(l, p), p, nil
+}
+
 // Kind selects a bisimulation notion for Equivalent.
 type Kind int
 
@@ -77,18 +92,18 @@ func (k Kind) String() string {
 	}
 }
 
-func partition(l *lts.LTS, k Kind) (*Partition, error) {
+func partition(ctx context.Context, l *lts.LTS, k Kind) (*Partition, error) {
 	switch k {
 	case KindStrong:
-		return Strong(l), nil
+		return StrongContext(ctx, l)
 	case KindBranching:
-		return Branching(l), nil
+		return BranchingContext(ctx, l)
 	case KindDivBranching:
-		return DivergenceSensitiveBranching(l), nil
+		return DivergenceSensitiveBranchingContext(ctx, l)
 	case KindWeak:
-		return Weak(l), nil
+		return WeakContext(ctx, l)
 	case KindDivWeak:
-		return DivergenceSensitiveWeak(l), nil
+		return DivergenceSensitiveWeakContext(ctx, l)
 	default:
 		return nil, fmt.Errorf("bisim: unknown kind %v", k)
 	}
@@ -98,11 +113,17 @@ func partition(l *lts.LTS, k Kind) (*Partition, error) {
 // bisimilar under the chosen notion, by partitioning their disjoint union
 // and comparing the blocks of the initial states.
 func Equivalent(a, b *lts.LTS, k Kind) (bool, error) {
+	return EquivalentContext(context.Background(), a, b, k)
+}
+
+// EquivalentContext is Equivalent with cancellation: the underlying
+// refinement polls ctx and a *CanceledError is returned when it fires.
+func EquivalentContext(ctx context.Context, a, b *lts.LTS, k Kind) (bool, error) {
 	u, initB, err := lts.DisjointUnion(a, b)
 	if err != nil {
 		return false, err
 	}
-	p, err := partition(u, k)
+	p, err := partition(ctx, u, k)
 	if err != nil {
 		return false, err
 	}

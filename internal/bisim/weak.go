@@ -1,6 +1,8 @@
 package bisim
 
 import (
+	"context"
+
 	"repro/internal/lts"
 )
 
@@ -14,7 +16,14 @@ import (
 // intended for moderately sized systems (the paper's Table VII instances);
 // branching bisimulation should be preferred at scale.
 func Weak(l *lts.LTS) *Partition {
-	return weak(l, false)
+	p, _ := WeakContext(context.Background(), l)
+	return p
+}
+
+// WeakContext is Weak with cancellation: the refinement loop polls ctx
+// once per round and returns a *CanceledError when it is done.
+func WeakContext(ctx context.Context, l *lts.LTS) (*Partition, error) {
+	return weak(ctx, l, false)
 }
 
 // DivergenceSensitiveWeak computes weak bisimulation with explicit
@@ -23,10 +32,17 @@ func Weak(l *lts.LTS) *Partition {
 // before refinement, so related states must agree on the ability to
 // diverge.
 func DivergenceSensitiveWeak(l *lts.LTS) *Partition {
-	return weak(l, true)
+	p, _ := DivergenceSensitiveWeakContext(context.Background(), l)
+	return p
 }
 
-func weak(l *lts.LTS, divSensitive bool) *Partition {
+// DivergenceSensitiveWeakContext is DivergenceSensitiveWeak with
+// cancellation.
+func DivergenceSensitiveWeakContext(ctx context.Context, l *lts.LTS) (*Partition, error) {
+	return weak(ctx, l, true)
+}
+
+func weak(ctx context.Context, l *lts.LTS, divSensitive bool) (*Partition, error) {
 	if divSensitive {
 		checkDivergenceReserve(l.Acts.Len())
 	}
@@ -63,6 +79,9 @@ func weak(l *lts.LTS, divSensitive bool) *Partition {
 		return dst
 	}
 	for {
+		if err := checkCtx(ctx, "weak refinement"); err != nil {
+			return nil, err
+		}
 		table.reset()
 		next := make([]int32, n)
 		for s := 0; s < n; s++ {
@@ -87,7 +106,7 @@ func weak(l *lts.LTS, divSensitive bool) *Partition {
 		}
 		num := len(table.keys)
 		if num == p.Num {
-			return p
+			return p, nil
 		}
 		p = &Partition{BlockOf: next, Num: num}
 	}

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,6 +65,11 @@ func Explore(p *machine.Program, cfg Config, acts, labels *lts.Alphabet) (*lts.L
 	return machine.Explore(p, cfg.options(acts, labels))
 }
 
+// ExploreContext is Explore with cancellation; see machine.ExploreContext.
+func ExploreContext(ctx context.Context, p *machine.Program, cfg Config, acts, labels *lts.Alphabet) (*lts.LTS, error) {
+	return machine.ExploreContext(ctx, p, cfg.options(acts, labels))
+}
+
 // LinearizabilityResult reports a Theorem 5.3 check.
 type LinearizabilityResult struct {
 	// Linearizable is the verdict.
@@ -83,19 +89,32 @@ type LinearizabilityResult struct {
 // both branching-bisimulation quotients, then decide trace refinement
 // between the quotients.
 func CheckLinearizability(impl, spec *machine.Program, cfg Config) (*LinearizabilityResult, error) {
+	return CheckLinearizabilityContext(context.Background(), impl, spec, cfg)
+}
+
+// CheckLinearizabilityContext is CheckLinearizability with cancellation:
+// exploration and partition refinement poll ctx, so an abandoned or
+// timed-out check stops promptly with a typed cancellation error.
+func CheckLinearizabilityContext(ctx context.Context, impl, spec *machine.Program, cfg Config) (*LinearizabilityResult, error) {
 	start := time.Now()
 	acts := lts.NewAlphabet()
 	labels := lts.NewAlphabet()
-	implLTS, err := Explore(impl, cfg, acts, labels)
+	implLTS, err := ExploreContext(ctx, impl, cfg, acts, labels)
 	if err != nil {
 		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
 	}
-	specLTS, err := Explore(spec, cfg, acts, labels)
+	specLTS, err := ExploreContext(ctx, spec, cfg, acts, labels)
 	if err != nil {
 		return nil, fmt.Errorf("explore %s: %w", spec.Name, err)
 	}
-	implQ, _ := bisim.ReduceBranching(implLTS)
-	specQ, _ := bisim.ReduceBranching(specLTS)
+	implQ, _, err := bisim.ReduceBranchingContext(ctx, implLTS)
+	if err != nil {
+		return nil, err
+	}
+	specQ, _, err := bisim.ReduceBranchingContext(ctx, specLTS)
+	if err != nil {
+		return nil, err
+	}
 	res, err := refine.TraceInclusion(implQ, specQ)
 	if err != nil {
 		return nil, err
@@ -135,20 +154,28 @@ type LockFreedomResult struct {
 // an infinite τ-path (Lemma 5.7), so ≈div holds exactly when Δ is
 // divergence-free; a failure yields a divergence diagnostic.
 func CheckLockFreeAuto(impl *machine.Program, cfg Config) (*LockFreedomResult, error) {
+	return CheckLockFreeAutoContext(context.Background(), impl, cfg)
+}
+
+// CheckLockFreeAutoContext is CheckLockFreeAuto with cancellation.
+func CheckLockFreeAutoContext(ctx context.Context, impl *machine.Program, cfg Config) (*LockFreedomResult, error) {
 	start := time.Now()
 	acts := lts.NewAlphabet()
 	labels := lts.NewAlphabet()
-	implLTS, err := Explore(impl, cfg, acts, labels)
+	implLTS, err := ExploreContext(ctx, impl, cfg, acts, labels)
 	if err != nil {
 		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
 	}
-	quotient, _ := bisim.ReduceBranching(implLTS)
+	quotient, _, err := bisim.ReduceBranchingContext(ctx, implLTS)
+	if err != nil {
+		return nil, err
+	}
 	if _, cyc := lts.HasTauCycle(quotient); cyc {
 		// Lemma 5.7 guarantees this cannot happen; failing loudly here
 		// protects against engine bugs.
 		return nil, fmt.Errorf("core: quotient of %s has a τ-cycle, violating Lemma 5.7", impl.Name)
 	}
-	eq, err := bisim.Equivalent(implLTS, quotient, bisim.KindDivBranching)
+	eq, err := bisim.EquivalentContext(ctx, implLTS, quotient, bisim.KindDivBranching)
 	if err != nil {
 		return nil, err
 	}
@@ -177,18 +204,23 @@ func CheckLockFreeAuto(impl *machine.Program, cfg Config) (*LockFreedomResult, e
 // apply; the result then reports Bisimilar=false and, if impl itself
 // diverges, carries the divergence diagnostic.
 func CheckLockFreeAbstract(impl, abs *machine.Program, cfg Config) (*LockFreedomResult, error) {
+	return CheckLockFreeAbstractContext(context.Background(), impl, abs, cfg)
+}
+
+// CheckLockFreeAbstractContext is CheckLockFreeAbstract with cancellation.
+func CheckLockFreeAbstractContext(ctx context.Context, impl, abs *machine.Program, cfg Config) (*LockFreedomResult, error) {
 	start := time.Now()
 	acts := lts.NewAlphabet()
 	labels := lts.NewAlphabet()
-	implLTS, err := Explore(impl, cfg, acts, labels)
+	implLTS, err := ExploreContext(ctx, impl, cfg, acts, labels)
 	if err != nil {
 		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
 	}
-	absLTS, err := Explore(abs, cfg, acts, labels)
+	absLTS, err := ExploreContext(ctx, abs, cfg, acts, labels)
 	if err != nil {
 		return nil, fmt.Errorf("explore %s: %w", abs.Name, err)
 	}
-	eq, err := bisim.Equivalent(implLTS, absLTS, bisim.KindDivBranching)
+	eq, err := bisim.EquivalentContext(ctx, implLTS, absLTS, bisim.KindDivBranching)
 	if err != nil {
 		return nil, err
 	}
@@ -230,26 +262,37 @@ type EquivalenceReport struct {
 // CompareWithSpec reproduces one row of Table VII: sizes of Δ, Δ/≈, Θsp,
 // Θsp/≈, plus whether Δ ~w Θsp and Δ ≈ Θsp.
 func CompareWithSpec(impl, spec *machine.Program, cfg Config) (*EquivalenceReport, error) {
+	return CompareWithSpecContext(context.Background(), impl, spec, cfg)
+}
+
+// CompareWithSpecContext is CompareWithSpec with cancellation.
+func CompareWithSpecContext(ctx context.Context, impl, spec *machine.Program, cfg Config) (*EquivalenceReport, error) {
 	start := time.Now()
 	acts := lts.NewAlphabet()
 	labels := lts.NewAlphabet()
-	implLTS, err := Explore(impl, cfg, acts, labels)
+	implLTS, err := ExploreContext(ctx, impl, cfg, acts, labels)
 	if err != nil {
 		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
 	}
-	specLTS, err := Explore(spec, cfg, acts, labels)
+	specLTS, err := ExploreContext(ctx, spec, cfg, acts, labels)
 	if err != nil {
 		return nil, fmt.Errorf("explore %s: %w", spec.Name, err)
 	}
-	implQ, _ := bisim.ReduceBranching(implLTS)
-	specQ, _ := bisim.ReduceBranching(specLTS)
-	// Δ ≈ Δ/≈ and ≈ refines ~w, so both equivalences can be decided on
-	// the far smaller quotients: Δ R Θsp iff Δ/≈ R Θsp/≈ for R ∈ {≈, ~w}.
-	weak, err := bisim.Equivalent(implQ, specQ, bisim.KindWeak)
+	implQ, _, err := bisim.ReduceBranchingContext(ctx, implLTS)
 	if err != nil {
 		return nil, err
 	}
-	br, err := bisim.Equivalent(implQ, specQ, bisim.KindBranching)
+	specQ, _, err := bisim.ReduceBranchingContext(ctx, specLTS)
+	if err != nil {
+		return nil, err
+	}
+	// Δ ≈ Δ/≈ and ≈ refines ~w, so both equivalences can be decided on
+	// the far smaller quotients: Δ R Θsp iff Δ/≈ R Θsp/≈ for R ∈ {≈, ~w}.
+	weak, err := bisim.EquivalentContext(ctx, implQ, specQ, bisim.KindWeak)
+	if err != nil {
+		return nil, err
+	}
+	br, err := bisim.EquivalentContext(ctx, implQ, specQ, bisim.KindBranching)
 	if err != nil {
 		return nil, err
 	}
@@ -284,8 +327,13 @@ type DeadlockResult struct {
 // CheckDeadlockFree explores the object and searches for reachable
 // deadlocks.
 func CheckDeadlockFree(impl *machine.Program, cfg Config) (*DeadlockResult, error) {
+	return CheckDeadlockFreeContext(context.Background(), impl, cfg)
+}
+
+// CheckDeadlockFreeContext is CheckDeadlockFree with cancellation.
+func CheckDeadlockFreeContext(ctx context.Context, impl *machine.Program, cfg Config) (*DeadlockResult, error) {
 	start := time.Now()
-	l, info, err := machine.ExploreWithInfo(impl, cfg.options(nil, nil))
+	l, info, err := machine.ExploreWithInfoContext(ctx, impl, cfg.options(nil, nil))
 	if err != nil {
 		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
 	}

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"unsafe"
@@ -21,6 +22,33 @@ type StateLimitError struct {
 func (e *StateLimitError) Error() string {
 	return fmt.Sprintf("machine: %s: state space exceeds limit of %d states", e.Program, e.Limit)
 }
+
+// CanceledError reports that an exploration was abandoned because its
+// context was canceled or its deadline expired. It unwraps to the
+// context's cause (context.Canceled or context.DeadlineExceeded), so
+// errors.Is(err, context.Canceled) works as expected.
+type CanceledError struct {
+	Program string
+	Cause   error
+}
+
+// Error implements the error interface.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("machine: %s: exploration canceled: %v", e.Program, e.Cause)
+}
+
+// Unwrap exposes the context cause.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// canceled builds the typed cancellation error for a context known to be
+// done, preferring the cancel cause when one was recorded.
+func canceled(ctx context.Context, prog string) error {
+	return &CanceledError{Program: prog, Cause: context.Cause(ctx)}
+}
+
+// cancelCheckMask throttles context polling in exploration hot loops: the
+// context is consulted once every cancelCheckMask+1 states.
+const cancelCheckMask = 1023
 
 // Options configures state-space generation.
 type Options struct {
@@ -63,12 +91,26 @@ type Info struct {
 // Call and return actions are visible; every statement execution is a τ
 // transition labeled (for diagnostics) with "t<i>.<stmt label>".
 func Explore(p *Program, opt Options) (*lts.LTS, error) {
-	l, _, err := ExploreWithInfo(p, opt)
+	l, _, err := ExploreWithInfoContext(context.Background(), p, opt)
+	return l, err
+}
+
+// ExploreContext is Explore with cancellation: when ctx is canceled or
+// times out mid-exploration, it stops promptly — both the sequential BFS
+// and every parallel worker poll the context — and returns a
+// *CanceledError wrapping the context cause.
+func ExploreContext(ctx context.Context, p *Program, opt Options) (*lts.LTS, error) {
+	l, _, err := ExploreWithInfoContext(ctx, p, opt)
 	return l, err
 }
 
 // ExploreWithInfo is Explore plus deadlock information.
 func ExploreWithInfo(p *Program, opt Options) (*lts.LTS, *Info, error) {
+	return ExploreWithInfoContext(context.Background(), p, opt)
+}
+
+// ExploreWithInfoContext is ExploreContext plus deadlock information.
+func ExploreWithInfoContext(ctx context.Context, p *Program, opt Options) (*lts.LTS, *Info, error) {
 	if err := validateOptions(p, opt); err != nil {
 		return nil, nil, err
 	}
@@ -89,10 +131,11 @@ func ExploreWithInfo(p *Program, opt Options) (*lts.LTS, *Info, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > 1 {
-		return exploreParallel(p, opt, acts, labels, limit, workers)
+		return exploreParallel(ctx, p, opt, acts, labels, limit, workers)
 	}
 
 	e := &explorer{
+		ctx:  ctx,
 		prog: p,
 		opt:  opt,
 		ai:   newActionInterner(p, acts, labels),
@@ -135,6 +178,7 @@ func initialState(p *Program, opt Options) *state {
 // canonical state encodings, emitting transitions straight into a CSR
 // builder.
 type explorer struct {
+	ctx   context.Context
 	prog  *Program
 	opt   Options
 	ai    *actionInterner
@@ -295,6 +339,9 @@ func (e *explorer) run(limit int) (*lts.LTS, *Info, error) {
 	e.csr = lts.NewCSRBuilder(e.ai.acts, e.ai.labels)
 	cur := newScratchState(p, e.opt.Threads)
 	for si := 0; si < len(e.keys); si++ {
+		if si&cancelCheckMask == 0 && e.ctx.Err() != nil {
+			return nil, nil, canceled(e.ctx, p.Name)
+		}
 		decode(e.keys[si], cur)
 		if err := e.csr.BeginState(int32(si)); err != nil {
 			return nil, nil, err

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/lts"
@@ -13,6 +14,7 @@ import (
 func TestDecodeKeysAllocFree(t *testing.T) {
 	p := counterProgram()
 	e := &explorer{
+		ctx:  context.Background(),
 		prog: p,
 		opt:  Options{Threads: 2, Ops: 2, Workers: 1},
 		ai:   newActionInterner(p, lts.NewAlphabet(), lts.NewAlphabet()),

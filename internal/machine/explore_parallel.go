@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -119,7 +120,7 @@ func (w *pworker) emit(x *expander, tr symTrans) bool {
 // uneven expansion costs.
 const frontierChunk = 64
 
-func exploreParallel(p *Program, opt Options, acts, labels *lts.Alphabet, limit, workers int) (*lts.LTS, *Info, error) {
+func exploreParallel(ctx context.Context, p *Program, opt Options, acts, labels *lts.Alphabet, limit, workers int) (*lts.LTS, *Info, error) {
 	table := newStateTable()
 	ai := newActionInterner(p, acts, labels)
 
@@ -163,6 +164,12 @@ func exploreParallel(p *Program, opt Options, acts, labels *lts.Alphabet, limit,
 			go func(windex int32, w *pworker) {
 				defer wg.Done()
 				for {
+					// Poll the context once per claimed chunk so an
+					// abandoned job stops burning cores within ~64
+					// state expansions per worker.
+					if ctx.Err() != nil {
+						return
+					}
 					start := int(cursor.Add(frontierChunk)) - frontierChunk
 					if start >= n {
 						return
@@ -186,6 +193,9 @@ func exploreParallel(p *Program, opt Options, acts, labels *lts.Alphabet, limit,
 			}(int32(wi), w)
 		}
 		wg.Wait()
+		if ctx.Err() != nil {
+			return nil, nil, canceled(ctx, p.Name)
+		}
 
 		// Merge phase: deterministic ID assignment and bulk CSR emission.
 		total := 0
@@ -194,6 +204,9 @@ func exploreParallel(p *Program, opt Options, acts, labels *lts.Alphabet, limit,
 		}
 		csr.Reserve(n, total)
 		for i := range rows {
+			if i&cancelCheckMask == 0 && ctx.Err() != nil {
+				return nil, nil, canceled(ctx, p.Name)
+			}
 			r := &rows[i]
 			trs := ws[r.worker].trs[r.start:r.end]
 			row = row[:0]

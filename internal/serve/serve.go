@@ -1,0 +1,404 @@
+// Package serve is the verification serving layer: a bounded job queue
+// feeding a worker pool sized off the machine's cores, an LRU result
+// cache keyed by the canonical content hash of each job spec
+// (api.JobSpec.CacheKey), and stdlib-only metrics. It turns the one-shot
+// bbverify workload — explore, quotient, decide — into a daemon-friendly
+// one: identical requests from any client are answered from the cache
+// instead of re-exploring, abandoned or timed-out jobs cancel their
+// in-flight exploration via context, and shutdown drains running work.
+//
+// The cmd/bbvd daemon exposes this over HTTP; see Handler for the routes.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the verification worker-pool size; 0 defaults to
+	// runtime.NumCPU(). Each worker runs one job at a time; the job's own
+	// exploration parallelism is governed by its spec's Workers field.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; further
+	// submissions are rejected with ErrQueueFull. 0 defaults to 64.
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries; 0 defaults
+	// to 256. Negative disables caching.
+	CacheSize int
+	// DefaultTimeout bounds jobs that do not set their own timeout_ms;
+	// 0 means no default bound.
+	DefaultTimeout time.Duration
+	// MaxStates caps every job's state budget: specs asking for more (or
+	// for the unlimited default) are clamped before hashing and running.
+	// 0 leaves specs untouched.
+	MaxStates int
+	// JobHistory bounds how many finished jobs are retained for status
+	// queries; the oldest finished jobs are evicted first. 0 defaults to
+	// 4096.
+	JobHistory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 4096
+	}
+	return c
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle: queued → running → done | failed | canceled. Cache hits
+// are born done.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Sentinel errors surfaced by Submit and Cancel.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity; clients should retry later.
+	ErrQueueFull = errors.New("serve: job queue is full")
+	// ErrShutdown rejects submissions during graceful shutdown.
+	ErrShutdown = errors.New("serve: server is shutting down")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("serve: no such job")
+	// errClientCanceled is the cancel cause recorded when a client
+	// cancels a running job via Cancel / DELETE.
+	errClientCanceled = errors.New("job canceled by client")
+)
+
+// job is the server-side record of one submission. All fields after the
+// immutable header are guarded by Server.mu.
+type job struct {
+	id   string
+	spec api.JobSpec
+	key  string
+
+	status    Status
+	cached    bool
+	result    *api.Result
+	errMsg    string
+	cancel    context.CancelCauseFunc // non-nil only while running
+	submitted time.Time
+	finished  time.Time
+}
+
+// JobView is the wire representation of a job, returned by Submit/Get
+// and serialized on every /v1/jobs response.
+type JobView struct {
+	ID     string      `json:"id"`
+	Status Status      `json:"status"`
+	Spec   api.JobSpec `json:"spec"`
+	// CacheKey is the canonical content hash the result is cached under.
+	CacheKey string `json:"cache_key"`
+	// Cached marks a submission answered from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Result is set once Status is "done".
+	Result *api.Result `json:"result,omitempty"`
+	// Error is set when Status is "failed" or "canceled".
+	Error string `json:"error,omitempty"`
+}
+
+func (j *job) view() *JobView {
+	return &JobView{
+		ID:       j.id,
+		Status:   j.status,
+		Spec:     j.spec,
+		CacheKey: j.key,
+		Cached:   j.cached,
+		Result:   j.result,
+		Error:    j.errMsg,
+	}
+}
+
+// Server is the verification service. Create with New, serve its
+// Handler, and stop it with Shutdown (graceful) or Close (immediate).
+type Server struct {
+	cfg     Config
+	metrics Metrics
+
+	baseCtx   context.Context         // canceled to abort all running jobs
+	cancelAll context.CancelCauseFunc // cancels baseCtx
+	queue     chan *job
+	wg        sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for history eviction
+	cache  *resultCache
+	nextID int64
+	closed bool
+}
+
+// New starts a server with cfg's worker pool already running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		queue:     make(chan *job, cfg.QueueDepth),
+		jobs:      make(map[string]*job),
+		cache:     newResultCache(cfg.CacheSize),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the server counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Config returns the effective configuration, defaults applied.
+func (s *Server) Config() Config { return s.cfg }
+
+// Submit normalizes, validates and enqueues spec, returning the job's
+// initial view: status "done" (with the result) when the canonical cache
+// key hits, "queued" otherwise. It fails with ErrQueueFull when the
+// bounded queue is at capacity, ErrShutdown during shutdown, and a
+// validation error for malformed specs.
+func (s *Server) Submit(spec api.JobSpec) (*JobView, error) {
+	spec.Normalize()
+	if s.cfg.MaxStates > 0 && (spec.MaxStates <= 0 || spec.MaxStates > s.cfg.MaxStates) {
+		spec.MaxStates = s.cfg.MaxStates
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	key := spec.CacheKey()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrShutdown
+	}
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.nextID),
+		spec:      spec,
+		key:       key,
+		submitted: time.Now(),
+	}
+	if res, ok := s.cache.get(key); ok {
+		s.metrics.CacheHitsTotal.Add(1)
+		s.metrics.JobsSubmittedTotal.Add(1)
+		s.metrics.JobsDoneTotal.Add(1)
+		j.status = StatusDone
+		j.cached = true
+		j.result = res
+		j.finished = j.submitted
+		s.record(j)
+		return j.view(), nil
+	}
+	j.status = StatusQueued
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID-- // the job never existed
+		return nil, ErrQueueFull
+	}
+	s.metrics.CacheMissesTotal.Add(1)
+	s.metrics.JobsSubmittedTotal.Add(1)
+	s.metrics.JobsQueuedNow.Add(1)
+	s.record(j)
+	return j.view(), nil
+}
+
+// record indexes the job and evicts the oldest finished jobs beyond the
+// history bound. Callers hold s.mu.
+func (s *Server) record(j *job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if len(s.jobs) <= s.cfg.JobHistory {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.jobs) - s.cfg.JobHistory
+	for _, id := range s.order {
+		if excess > 0 {
+			if old, ok := s.jobs[id]; ok && old.status.Terminal() {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Get returns the job's current view.
+func (s *Server) Get(id string) (*JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.view(), nil
+}
+
+// List returns every retained job in submission order.
+func (s *Server) List() []*JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*JobView, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j.view())
+		}
+	}
+	return out
+}
+
+// Cancel aborts a job: a queued job is marked canceled before it starts;
+// a running job has its context canceled and transitions once the
+// exploration observes it. Canceling a finished job is a no-op.
+func (s *Server) Cancel(id string) (*JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCanceled
+		j.errMsg = errClientCanceled.Error()
+		j.finished = time.Now()
+		s.metrics.JobsQueuedNow.Add(-1)
+		s.metrics.JobsCanceledTotal.Add(1)
+	case StatusRunning:
+		j.cancel(errClientCanceled)
+	}
+	return j.view(), nil
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job under a per-job cancellable context,
+// updates its record, and feeds the cache and metrics.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.status != StatusQueued { // canceled while waiting
+		s.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	j.cancel = cancel
+	timeout := time.Duration(j.spec.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	s.mu.Unlock()
+	s.metrics.JobsQueuedNow.Add(-1)
+	s.metrics.JobsRunning.Add(1)
+
+	runCtx := ctx
+	stopTimer := func() {}
+	if timeout > 0 {
+		runCtx, stopTimer = context.WithTimeout(ctx, timeout)
+	}
+	start := time.Now()
+	res, err := api.Run(runCtx, j.spec)
+	elapsed := time.Since(start)
+	stopTimer()
+	cancel(nil)
+
+	s.metrics.JobsRunning.Add(-1)
+	s.metrics.WallTimeMicrosTotal.Add(elapsed.Microseconds())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.cancel = nil
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		res.ElapsedMS = elapsed.Milliseconds()
+		j.status = StatusDone
+		j.result = res
+		s.cache.put(j.key, res)
+		s.metrics.JobsDoneTotal.Add(1)
+		s.metrics.StatesExploredTotal.Add(res.StatesExplored())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, errClientCanceled) || errors.Is(err, ErrShutdown):
+		// The typed cancellation errors unwrap to the cancel *cause*,
+		// which for client cancels and forced shutdown is our own
+		// sentinel rather than context.Canceled.
+		j.status = StatusCanceled
+		j.errMsg = err.Error()
+		s.metrics.JobsCanceledTotal.Add(1)
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+		s.metrics.JobsFailedTotal.Add(1)
+	}
+}
+
+// Shutdown stops accepting submissions and waits for the workers to
+// drain every queued and running job. If ctx expires first, all
+// in-flight jobs are canceled (they record status "canceled") and
+// Shutdown still waits for the workers to observe the cancellation
+// before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll(context.Cause(ctx))
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cancels every in-flight job and waits for the workers to exit.
+func (s *Server) Close() {
+	s.cancelAll(ErrShutdown)
+	_ = s.Shutdown(context.Background())
+}
