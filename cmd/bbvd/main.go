@@ -8,7 +8,13 @@
 //
 // API (JSON unless noted):
 //
-//	POST   /v1/jobs        submit {"kind":"check|explore|ktrace","algorithm":"ms-queue","threads":2,"ops":2}
+//	POST   /v1/jobs        submit {"kind":"check|explore|ktrace","algorithm":"ms-queue","threads":2,"ops":2};
+//	                       instead of "algorithm", a job may inline a BBVL
+//	                       model as "model_source" (with an optional
+//	                       "model_name" for diagnostics) — parse and type
+//	                       errors come back as a 400 with positioned
+//	                       "diagnostics"; the source text is part of the
+//	                       cache key
 //	GET    /v1/jobs/{id}   poll status; "done" carries the result, counterexamples included
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /v1/jobs        list retained jobs

@@ -3,8 +3,11 @@
 //
 //	bbverify list
 //	bbverify check   [-threads N] [-ops N] [-max-states N] <algorithm>
+//	bbverify check   -model file.bbvl
+//	bbverify check   -spec job.json
 //	bbverify explore [-threads N] [-ops N] [-quotient] [-dot F] [-aut F] <algorithm>
 //	bbverify ktrace  [-threads N] [-ops N] <algorithm>
+//	bbverify compile <file.bbvl>
 //
 // check runs both verification methods: linearizability by quotient
 // trace refinement (Theorem 5.3) and lock-freedom by divergence-sensitive
@@ -12,6 +15,12 @@
 // counterexamples on failure. explore generates the state space, reports
 // quotient sizes and optionally exports Graphviz/Aldebaran files. ktrace
 // classifies the algorithm's τ steps in the ≡ₖ hierarchy (Table I).
+//
+// Every analysis subcommand accepts -model file.bbvl in place of a
+// registry algorithm ID: the BBVL model (see internal/bbvl and
+// examples/bbvl) is compiled on the fly and verified against the builtin
+// specification it declares. compile prints the compiled machine-level
+// form of a model without running anything.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/api"
+	"repro/internal/bbvl"
 	"repro/internal/bisim"
 	"repro/internal/core"
 	"repro/internal/ktrace"
@@ -62,11 +72,13 @@ func run(args []string) error {
 		return ltlCmd(args[1:])
 	case "sweep":
 		return sweepCmd(args[1:])
+	case "compile":
+		return compileCmd(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (try: list, check, explore, ktrace, compare, ltl, sweep)", args[0])
+		return fmt.Errorf("unknown subcommand %q (try: list, check, explore, ktrace, compare, ltl, sweep, compile)", args[0])
 	}
 }
 
@@ -76,7 +88,8 @@ func usage() {
 subcommands:
   list                         list the packaged algorithms
   check   [flags] <algorithm>  verify linearizability (Thm 5.3) and lock-freedom (Thm 5.9);
-                               -json emits the bbvd service's result schema
+                               -json emits the bbvd service's result schema;
+                               -spec job.json runs a service job spec file instead
   explore [flags] <algorithm>  generate the state space and its quotient
   ktrace  [flags] <algorithm>  classify tau steps in the k-trace hierarchy (Table I)
   compare [flags] <algorithm>  compare the object with its specification under
@@ -86,10 +99,12 @@ subcommands:
                                (-formula lockfree | completes:<Method>)
   sweep   [flags] <algorithm>  sweep the operation bound (Table III / Fig. 10
                                style): sizes, quotients, reduction, verdicts
+  compile <file.bbvl>          print the compiled machine-level form of a model
 
 common flags: -threads N (default 2), -ops N (default 2), -vals 1,2, -max-states N,
               -workers N (exploration workers; 0 = all cores, 1 = sequential —
-              results are identical for any value)`)
+              results are identical for any value),
+              -model file.bbvl (verify a BBVL model instead of a registry algorithm)`)
 }
 
 func list() error {
@@ -111,6 +126,10 @@ type commonFlags struct {
 	vals      *string
 	maxStates *int
 	workers   *int
+	model     *string
+	// modelSrc holds the -model file's source after resolve, so check
+	// -json can forward it as a model_source job.
+	modelSrc []byte
 }
 
 func newFlags(name string) *commonFlags {
@@ -122,6 +141,7 @@ func newFlags(name string) *commonFlags {
 		vals:      fs.String("vals", "", "comma-separated value universe (default algorithm-specific)"),
 		maxStates: fs.Int("max-states", 0, "state budget (0 = default)"),
 		workers:   fs.Int("workers", 0, "exploration workers (0 = all cores, 1 = sequential)"),
+		model:     fs.String("model", "", "verify a BBVL model file instead of a registry algorithm"),
 	}
 }
 
@@ -129,13 +149,39 @@ func (c *commonFlags) parse(args []string) (*algorithms.Algorithm, algorithms.Co
 	if err := c.fs.Parse(args); err != nil {
 		return nil, algorithms.Config{}, core.Config{}, err
 	}
+	return c.resolve()
+}
+
+// resolve interprets the already-parsed flags and positional arguments:
+// either one registry algorithm ID, or -model file.bbvl compiled on the
+// fly.
+func (c *commonFlags) resolve() (*algorithms.Algorithm, algorithms.Config, core.Config, error) {
+	var (
+		alg *algorithms.Algorithm
+		err error
+	)
 	rest := c.fs.Args()
-	if len(rest) != 1 {
-		return nil, algorithms.Config{}, core.Config{}, fmt.Errorf("expected exactly one algorithm ID (see `bbverify list`)")
-	}
-	alg, err := algorithms.ByID(rest[0])
-	if err != nil {
-		return nil, algorithms.Config{}, core.Config{}, err
+	if *c.model != "" {
+		if len(rest) != 0 {
+			return nil, algorithms.Config{}, core.Config{}, fmt.Errorf("-model replaces the algorithm argument; drop %q", rest[0])
+		}
+		c.modelSrc, err = os.ReadFile(*c.model)
+		if err != nil {
+			return nil, algorithms.Config{}, core.Config{}, err
+		}
+		m, err := bbvl.Load(*c.model, c.modelSrc)
+		if err != nil {
+			return nil, algorithms.Config{}, core.Config{}, err
+		}
+		alg = m.Algorithm()
+	} else {
+		if len(rest) != 1 {
+			return nil, algorithms.Config{}, core.Config{}, fmt.Errorf("expected exactly one algorithm ID (see `bbverify list`) or -model file.bbvl")
+		}
+		alg, err = algorithms.ByID(rest[0])
+		if err != nil {
+			return nil, algorithms.Config{}, core.Config{}, err
+		}
 	}
 	var vals []int32
 	if *c.vals != "" {
@@ -155,20 +201,36 @@ func (c *commonFlags) parse(args []string) (*algorithms.Algorithm, algorithms.Co
 func check(args []string) error {
 	cf := newFlags("check")
 	jsonOut := cf.fs.Bool("json", false, "emit the result as JSON (the same schema the bbvd service returns)")
-	alg, acfg, ccfg, err := cf.parse(args)
+	specFile := cf.fs.String("spec", "", "run an api.JobSpec JSON file (strict decode) and print the result JSON")
+	if err := cf.fs.Parse(args); err != nil {
+		return err
+	}
+	if *specFile != "" {
+		if cf.fs.NArg() != 0 || *cf.model != "" {
+			return fmt.Errorf("-spec runs a self-contained job file; drop the algorithm/-model arguments")
+		}
+		return runSpecFile(*specFile)
+	}
+	alg, acfg, ccfg, err := cf.resolve()
 	if err != nil {
 		return err
 	}
 	if *jsonOut {
-		res, err := api.Run(context.Background(), api.JobSpec{
+		spec := api.JobSpec{
 			Kind:      api.KindCheck,
-			Algorithm: alg.ID,
 			Threads:   ccfg.Threads,
 			Ops:       ccfg.Ops,
 			MaxStates: ccfg.MaxStates,
 			Workers:   ccfg.Workers,
 			Vals:      acfg.Vals,
-		})
+		}
+		if *cf.model != "" {
+			spec.ModelSource = string(cf.modelSrc)
+			spec.ModelName = *cf.model
+		} else {
+			spec.Algorithm = alg.ID
+		}
+		res, err := api.Run(context.Background(), spec)
 		if err != nil {
 			return err
 		}
@@ -432,6 +494,47 @@ func sweepCmd(args []string) error {
 			ops, l.NumStates(), q.NumStates(),
 			float64(l.NumStates())/float64(q.NumStates()), lf, time.Since(start).Seconds())
 	}
+	return nil
+}
+
+// runSpecFile executes one service job spec from disk — the same strict
+// decoding and runner the bbvd daemon uses, so a job file debugs
+// identically offline.
+func runSpecFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spec, err := api.DecodeJobSpec(f)
+	if err != nil {
+		return err
+	}
+	res, err := api.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// compileCmd loads a BBVL model and prints its compiled machine-level
+// form: the schema, the node-field layout, the local register slots and
+// every resolved method body.
+func compileCmd(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one model file (bbverify compile file.bbvl)")
+	}
+	m, err := bbvl.LoadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(m.Dump())
 	return nil
 }
 

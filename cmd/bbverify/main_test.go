@@ -176,3 +176,136 @@ func TestRunCheckJSON(t *testing.T) {
 		t.Fatal("JSON field names must match the service wire format")
 	}
 }
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	fnErr := fn()
+	w.Close()
+	os.Stdout = old
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fnErr != nil {
+		t.Fatalf("%v\noutput:\n%s", fnErr, raw)
+	}
+	return string(raw)
+}
+
+// TestRunCheckModel verifies a BBVL model file end to end through the
+// CLI, in both the human and the -json output modes.
+func TestRunCheckModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	model := filepath.Join("..", "..", "examples", "bbvl", "treiber.bbvl")
+	out := captureStdout(t, func() error {
+		return run([]string{"check", "-threads", "2", "-ops", "1", "-model", model})
+	})
+	if !strings.Contains(out, "treiber (BBVL model)") || !strings.Contains(out, "OK") {
+		t.Errorf("unexpected check -model output:\n%s", out)
+	}
+
+	raw := captureStdout(t, func() error {
+		return run([]string{"check", "-json", "-threads", "2", "-ops", "1", "-model", model})
+	})
+	var res api.Result
+	if err := json.Unmarshal([]byte(raw), &res); err != nil {
+		t.Fatalf("check -json -model output is not an api.Result: %v\n%s", err, raw)
+	}
+	if res.Spec.ModelSource == "" || res.Spec.ModelName != model {
+		t.Errorf("result spec does not carry the model: %+v", res.Spec)
+	}
+	if res.Check == nil || !res.Check.Linearizable {
+		t.Errorf("treiber model 2x1 must report linearizable: %+v", res.Check)
+	}
+
+	// -model plus a positional algorithm is ambiguous.
+	if err := run([]string{"check", "-model", model, "treiber"}); err == nil {
+		t.Error("-model with positional algorithm must error")
+	}
+	// A missing model file is a plain file error.
+	if err := run([]string{"check", "-model", filepath.Join(t.TempDir(), "nope.bbvl")}); err == nil {
+		t.Error("missing model file must error")
+	}
+	// A model with a type error reports a positioned diagnostic.
+	bad := filepath.Join(t.TempDir(), "bad.bbvl")
+	if err := os.WriteFile(bad, []byte("model bad\nglobals { G: val }\nspec stack\nmethod Push(v: vals) { P1: goto NOPE }\nmethod Pop() { P2: return empty }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"check", "-model", bad})
+	if err == nil || !strings.Contains(err.Error(), bad+":4") {
+		t.Errorf("bad model error = %v, want positioned diagnostic", err)
+	}
+}
+
+// TestRunCompile pins the compile subcommand's machine-level dump.
+func TestRunCompile(t *testing.T) {
+	model := filepath.Join("..", "..", "examples", "bbvl", "msqueue.bbvl")
+	out := captureStdout(t, func() error {
+		return run([]string{"compile", model})
+	})
+	for _, want := range []string{"model ms-queue", "spec queue", "method Enq", "method Deq", "abstract"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compile output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"compile"}); err == nil {
+		t.Error("compile without a file must error")
+	}
+	if err := run([]string{"compile", "a.bbvl", "b.bbvl"}); err == nil {
+		t.Error("compile with two files must error")
+	}
+}
+
+// TestRunCheckSpecFile runs a JobSpec JSON file through check -spec —
+// the offline twin of a bbvd submission.
+func TestRunCheckSpecFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	src := readFile(t, filepath.Join("..", "..", "examples", "bbvl", "treiber.bbvl"))
+	spec := api.JobSpec{
+		Kind: api.KindCheck, ModelSource: src, ModelName: "treiber.bbvl",
+		Threads: 2, Ops: 1, Workers: 1,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "job.json")
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw := captureStdout(t, func() error {
+		return run([]string{"check", "-spec", path})
+	})
+	var res api.Result
+	if err := json.Unmarshal([]byte(raw), &res); err != nil {
+		t.Fatalf("check -spec output is not an api.Result: %v\n%s", err, raw)
+	}
+	if res.Check == nil || !res.Check.Linearizable {
+		t.Errorf("spec-file job must report linearizable: %+v", res.Check)
+	}
+
+	// Strict decoding: an unknown field in the job file is an error.
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"kind":"check","algorithem":"treiber"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", "-spec", badPath}); err == nil {
+		t.Error("unknown field in -spec file must error")
+	}
+	// -spec is self-contained; combining it with other targets errors.
+	if err := run([]string{"check", "-spec", path, "treiber"}); err == nil {
+		t.Error("-spec with positional algorithm must error")
+	}
+}

@@ -97,6 +97,7 @@ func All() []*Algorithm {
 		optimisticListAlg(),
 		fineGrainedListAlg(),
 		treiberUnsafeFreeAlg(),
+		spinLockStackAlg(),
 		twoLockQueueAlg(),
 		coarseListAlg(),
 		harrisListAlg(),

@@ -13,8 +13,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("registry has %d entries, want 20 (15 Table II rows + 5 extensions)", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registry has %d entries, want 21 (15 Table II rows + 6 extensions)", len(all))
 	}
 	if len(TableII()) != 15 {
 		t.Fatalf("TableII has %d entries, want 15", len(TableII()))
@@ -320,16 +320,17 @@ func TestLockBasedListsDeadlockFree(t *testing.T) {
 }
 
 // TestExtensionVerdicts verifies the packaged extension algorithms at
-// 2 threads × 2 ops: the two-lock queue and coarse list are linearizable
-// and deadlock-free; Harris's list and the version-tagged Treiber stack
-// are linearizable and lock-free (the latter despite explicit reuse).
+// 2 threads × 2 ops: the two-lock queue, coarse list and spin-lock stack
+// are linearizable and deadlock-free; Harris's list and the version-tagged
+// Treiber stack are linearizable and lock-free (the latter despite
+// explicit reuse).
 func TestExtensionVerdicts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exploration-heavy")
 	}
 	cfg := Config{Threads: 2, Ops: 2}
 	ccfg := core.Config{Threads: 2, Ops: 2}
-	for _, id := range []string{"two-lock-queue", "coarse-list", "harris-list", "treiber-versioned"} {
+	for _, id := range []string{"two-lock-queue", "coarse-list", "harris-list", "treiber-versioned", "spinlock-stack"} {
 		a, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,118 @@
+package algorithms
+
+import (
+	"repro/internal/machine"
+)
+
+// SpinLockStack is a linked stack protected by one global test-and-set
+// spin lock: every operation busy-waits on Lock with a CAS, performs the
+// sequential push/pop under the lock, and releases it. It is packaged as
+// an extension (beyond Table II) as the canonical lock-based counterpart
+// of the Treiber stack: linearizable, deadlock-free, and trivially not
+// lock-free (the busy-wait is a τ self-loop).
+//
+// The statement structure deliberately mirrors examples/bbvl's
+// spinlock-stack.bbvl model line for line: the BBVL cross-validation
+// tests check that the compiled model produces a byte-identical LTS.
+func SpinLockStack(cfg Config) *machine.Program {
+	const (
+		gLock = 0
+		gTop  = 1
+	)
+	return &machine.Program{
+		Name: "spinlock-stack",
+		Globals: machine.Schema{
+			Names: []string{"Lock", "Top"},
+			Kinds: []machine.VarKind{machine.KVal, machine.KPtr},
+		},
+		HeapCap:    cfg.totalOps() + 1,
+		NLocals:    2,
+		LocalKinds: []machine.VarKind{machine.KPtr, machine.KPtr},
+		Methods: []machine.Method{
+			{
+				Name: "Push",
+				Args: cfg.Values(),
+				Body: []machine.Stmt{
+					{Label: "S1", Exec: func(c *machine.Ctx) {
+						n := c.Alloc(kindNode)
+						c.Node(n).Val = c.Arg
+						c.L[sLocN] = n
+						c.Goto(1)
+					}},
+					{Label: "S2", Exec: func(c *machine.Ctx) {
+						if c.CASV(gLock, 0, c.Self()) {
+							c.Goto(2)
+						} else {
+							c.Goto(1) // spin
+						}
+					}},
+					{Label: "S3", Exec: func(c *machine.Ctx) {
+						t := c.V(gTop)
+						c.L[sLocT] = t
+						c.Node(c.L[sLocN]).Next = t
+						c.Goto(3)
+					}},
+					{Label: "S4", Exec: func(c *machine.Ctx) {
+						c.SetV(gTop, c.L[sLocN])
+						c.Goto(4)
+					}},
+					{Label: "S5", Exec: func(c *machine.Ctx) {
+						c.SetV(gLock, 0)
+						c.Return(machine.ValOK)
+					}},
+				},
+			},
+			{
+				Name: "Pop",
+				Body: []machine.Stmt{
+					{Label: "S6", Exec: func(c *machine.Ctx) {
+						if c.CASV(gLock, 0, c.Self()) {
+							c.Goto(1)
+						} else {
+							c.Goto(0) // spin
+						}
+					}},
+					{Label: "S7", Exec: func(c *machine.Ctx) {
+						t := c.V(gTop)
+						c.L[sLocT] = t
+						if t == 0 {
+							c.Goto(2)
+						} else {
+							c.Goto(3)
+						}
+					}},
+					{Label: "S8", Exec: func(c *machine.Ctx) {
+						c.SetV(gLock, 0)
+						c.Return(machine.ValEmpty)
+					}},
+					{Label: "S9", Exec: func(c *machine.Ctx) {
+						c.L[sLocN] = c.Node(c.L[sLocT]).Next
+						c.Goto(4)
+					}},
+					{Label: "S10", Exec: func(c *machine.Ctx) {
+						c.SetV(gTop, c.L[sLocN])
+						c.Goto(5)
+					}},
+					{Label: "S11", Exec: func(c *machine.Ctx) {
+						c.SetV(gLock, 0)
+						c.Return(c.Node(c.L[sLocT]).Val)
+					}},
+				},
+			},
+		},
+	}
+}
+
+func spinLockStackAlg() *Algorithm {
+	return &Algorithm{
+		ID:                 "spinlock-stack",
+		Display:            "Spin-lock stack",
+		Ref:                "(extension)",
+		Extension:          true,
+		LockBased:          true,
+		ExpectLinearizable: true,
+		ExpectLockFree:     false,
+		Build:              SpinLockStack,
+		Spec:               stackSpec,
+	}
+}

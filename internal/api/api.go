@@ -10,10 +10,14 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/algorithms"
+	"repro/internal/bbvl"
 	"repro/internal/bisim"
 	"repro/internal/core"
 	"repro/internal/ktrace"
@@ -28,8 +32,8 @@ const (
 	KindKTrace  = "ktrace"
 )
 
-// JobSpec is one verification request: which packaged algorithm to run,
-// the instance bounds, and how to run it. Workers and TimeoutMS tune the
+// JobSpec is one verification request: which packaged algorithm (or
+// inline BBVL model) to run, the instance bounds, and how to run it. Workers and TimeoutMS tune the
 // execution only — the produced result is identical for every value (the
 // explorer is deterministic per worker count), so neither enters the
 // cache key.
@@ -52,6 +56,80 @@ type JobSpec struct {
 	// TimeoutMS bounds the job's run time in milliseconds (0 = the
 	// server's default; ignored by the CLI).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// ModelSource carries inline BBVL model text to verify instead of a
+	// packaged algorithm; mutually exclusive with Algorithm. The source
+	// enters the cache key, so two jobs differing only in model text
+	// never share a cached result.
+	ModelSource string `json:"model_source,omitempty"`
+	// ModelName is the virtual filename used in model diagnostics
+	// (default "model.bbvl"). Cosmetic only: it is excluded from the
+	// cache key.
+	ModelName string `json:"model_name,omitempty"`
+}
+
+// modelFilename is the name model diagnostics are reported under.
+func (s JobSpec) modelFilename() string {
+	if s.ModelName != "" {
+		return s.ModelName
+	}
+	return "model.bbvl"
+}
+
+// resolve produces the algorithm the job runs: a registry entry, or the
+// compiled form of the submitted model source.
+func (s JobSpec) resolve() (*algorithms.Algorithm, error) {
+	if s.ModelSource != "" {
+		m, err := bbvl.Load(s.modelFilename(), []byte(s.ModelSource))
+		if err != nil {
+			return nil, fmt.Errorf("api: invalid model: %w", err)
+		}
+		return m.Algorithm(), nil
+	}
+	return algorithms.ByID(s.Algorithm)
+}
+
+// DecodeJobSpec reads one JobSpec from JSON, rejecting unknown fields
+// (catching misspelled options that would otherwise be silently dropped)
+// and trailing garbage after the document.
+func DecodeJobSpec(r io.Reader) (JobSpec, error) {
+	var s JobSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return JobSpec{}, fmt.Errorf("api: invalid job spec: %w", err)
+	}
+	if dec.More() {
+		return JobSpec{}, errors.New("api: invalid job spec: trailing data after JSON document")
+	}
+	return s, nil
+}
+
+// Diagnostic is one positioned model diagnostic in wire form.
+type Diagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// Diagnostics extracts the positioned model diagnostics from an error
+// returned by Validate, resolve or Run, so the bbvd service can return
+// them structurally rather than as one opaque string. It returns nil for
+// errors that carry no model diagnostics.
+func Diagnostics(err error) []Diagnostic {
+	var list bbvl.ErrorList
+	if errors.As(err, &list) {
+		out := make([]Diagnostic, 0, len(list))
+		for _, e := range list {
+			out = append(out, Diagnostic{File: e.Pos.File, Line: e.Pos.Line, Col: e.Pos.Col, Msg: e.Msg})
+		}
+		return out
+	}
+	var one *bbvl.Error
+	if errors.As(err, &one) {
+		return []Diagnostic{{File: one.Pos.File, Line: one.Pos.Line, Col: one.Pos.Col, Msg: one.Msg}}
+	}
+	return nil
 }
 
 // Normalize fills defaulted fields in place so equal requests compare
@@ -78,7 +156,13 @@ func (s *JobSpec) Validate() error {
 	if s.MaxStates < 0 || s.Workers < 0 || s.TimeoutMS < 0 {
 		return fmt.Errorf("api: max_states, workers and timeout_ms must be non-negative")
 	}
-	if _, err := algorithms.ByID(s.Algorithm); err != nil {
+	if s.ModelSource != "" && s.Algorithm != "" {
+		return fmt.Errorf("api: algorithm and model_source are mutually exclusive")
+	}
+	if _, err := s.resolve(); err != nil {
+		if s.ModelSource != "" {
+			return err // already wrapped, carrying the model diagnostics
+		}
 		return fmt.Errorf("api: %w", err)
 	}
 	return nil
@@ -92,7 +176,10 @@ func (s *JobSpec) Validate() error {
 // either cancels the job or leaves the result untouched). Defaulted
 // fields are normalized first, so {MaxStates: 0} and {MaxStates:
 // machine.DefaultMaxStates} — and nil Vals versus the explicit default
-// {1, 2} — hash identically.
+// {1, 2} — hash identically. For model jobs the full model source is
+// hashed in (ModelName is cosmetic and excluded); jobs without a model
+// hash exactly as they did before the field existed, preserving cache
+// entries across the upgrade.
 func (s JobSpec) CacheKey() string {
 	max := s.MaxStates
 	if max <= 0 {
@@ -110,6 +197,10 @@ func (s JobSpec) CacheKey() string {
 			b.WriteByte(',')
 		}
 		fmt.Fprintf(&b, "%d", v)
+	}
+	if s.ModelSource != "" {
+		b.WriteString("\x00model=")
+		b.WriteString(s.ModelSource)
 	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
@@ -224,11 +315,32 @@ func Run(ctx context.Context, spec JobSpec) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	alg, err := algorithms.ByID(spec.Algorithm)
+	alg, err := spec.resolve()
 	if err != nil {
 		return nil, err
 	}
+	if spec.ModelSource != "" {
+		return runGuarded(ctx, alg, spec)
+	}
+	return run(ctx, alg, spec)
+}
+
+// runGuarded executes a model job with a panic guard: a well-typed model
+// can still fail at runtime (nil dereference, heap exhaustion), and the
+// compiled program reports those as panics carrying the source position.
+// Registry algorithms run unguarded — a panic there is a bug, not input.
+func runGuarded(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("api: model runtime error: %v", r)
+		}
+	}()
+	return run(ctx, alg, spec)
+}
+
+func run(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (*Result, error) {
 	res := &Result{Spec: spec}
+	var err error
 	switch spec.Kind {
 	case KindCheck:
 		res.Check, err = runCheck(ctx, alg, spec)

@@ -1,0 +1,49 @@
+// Package bbvl implements the Branching-Bisimulation Verification
+// Language: a small textual modeling language for the concurrent objects
+// this repository verifies. A model file declares the shared state
+// (globals and heap node kinds), the object's methods as sequences of
+// labeled guarded atomic statements, a builtin single-atomic-block
+// specification (stack, queue or set), and optionally an abstract
+// program in the sense of Theorem 5.8.
+//
+// The pipeline is lexer → parser → typechecker → compiler. Checking
+// enforces the modeling discipline the paper's case studies follow: each
+// atomic statement of an implementation method performs at most one
+// destructive shared-memory access (a global or field write, CAS, alloc
+// or free) — reads ride along, as the paper's models snapshot several
+// variables in one step — and every diagnostic carries a file:line:col
+// position. Abstract methods are exempt, exactly as the paper's
+// coarse-grained abstractions are.
+//
+// Compilation targets machine.Program with a deliberately transparent
+// mapping — declaration order fixes global indices, local register slots
+// and node-field assignment onto machine.Node; statement labels and
+// outcome emission follow the source — so a model that re-encodes a
+// hand-coded registry algorithm explores a byte-identical LTS
+// (crossval_test.go holds the registry to that).
+//
+// Model text enters the system through "bbverify check -model",
+// "bbverify compile", or the model_source field of a bbvd job.
+package bbvl
+
+import "os"
+
+// Load parses and checks model source. Filename is used in diagnostic
+// positions only. On failure the error is an ErrorList of positioned
+// diagnostics.
+func Load(filename string, src []byte) (*Model, error) {
+	f, err := Parse(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	return Check(f)
+}
+
+// LoadFile loads a model from disk.
+func LoadFile(path string) (*Model, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Load(path, src)
+}

@@ -1,0 +1,879 @@
+package bbvl
+
+import (
+	"repro/internal/machine"
+)
+
+// fieldAcc selects one field of machine.Node. The compiler assigns a
+// model's named fields to concrete Node fields by class and declaration
+// order: val fields to Val, Key, C, D; ptr fields to Next, A, B; at most
+// one mark field to Mark.
+type fieldAcc uint8
+
+const (
+	fVal fieldAcc = iota
+	fKey
+	fC
+	fD
+	fNext
+	fA
+	fB
+	fMark
+)
+
+var fieldAccNames = [...]string{"Val", "Key", "C", "D", "Next", "A", "B", "Mark"}
+
+var valFieldSlots = [...]fieldAcc{fVal, fKey, fC, fD}
+var ptrFieldSlots = [...]fieldAcc{fNext, fA, fB}
+
+// locKind classifies a storage location.
+type locKind uint8
+
+const (
+	locGlobal locKind = iota
+	locLocal
+	locField
+)
+
+// rLoc is a resolved storage location: a global, a local register, or a
+// node field reached through a global or local pointer variable.
+type rLoc struct {
+	kind       locKind
+	idx        int // global or local index; for locField, the base variable
+	baseGlobal bool
+	field      fieldAcc
+	pos        Pos
+	name       string // source spelling, for runtime panics and the dump
+}
+
+// rOpKind classifies a resolved operand.
+type rOpKind uint8
+
+const (
+	oLit rOpKind = iota
+	oArg
+	oSelf
+	oLoc
+)
+
+// rOperand is a resolved operand.
+type rOperand struct {
+	kind rOpKind
+	lit  int32
+	loc  rLoc
+}
+
+// rOp enumerates the compiled micro-operations.
+type rOp uint8
+
+const (
+	opAssign rOp = iota
+	opAlloc
+	opFree
+	opCas
+	opGoto
+	opReturn
+	opIfCmp
+	opIfCas
+)
+
+// rInstr is one compiled micro-instruction. The interpreter in
+// compile.go executes a []rInstr per atomic statement.
+type rInstr struct {
+	op        rOp
+	lhs       rLoc     // opAssign/opAlloc destination; opFree/opCas target
+	a, b      rOperand // opAssign RHS / return value / cas exp / cmp X; b: cas new / cmp Y
+	negate    bool     // opIfCmp: condition is "!="
+	target    int      // opGoto: statement index
+	allocKind int32
+	then, els []rInstr
+	pos       Pos
+}
+
+// rMethod is one compiled method template.
+type rMethod struct {
+	name    string
+	argVals bool
+	argSet  []int32
+	stmts   []rStmt
+}
+
+type rStmt struct {
+	label string
+	body  []rInstr
+}
+
+// rProgram is a compiled program template, instantiated per
+// algorithms.Config by compile.go.
+type rProgram struct {
+	name         string
+	globalNames  []string
+	globalKinds  []machine.VarKind
+	nlocals      int
+	localKinds   []machine.VarKind
+	heapTotalOps bool
+	heapExtra    int
+	methods      []rMethod
+	init         []rInstr
+}
+
+// Model is a checked and compiled BBVL model, ready to instantiate
+// machine.Program values for any instance size.
+type Model struct {
+	// Name is the model's declared name.
+	Name string
+	// LockBased marks models whose liveness check is deadlock-freedom
+	// rather than lock-freedom (the lockbased declaration).
+	LockBased bool
+	// SpecKind is "stack", "queue" or "set"; SpecContains adds the
+	// Contains method to a set specification.
+	SpecKind     string
+	SpecContains bool
+	// HasAbstract reports an abstract (Theorem 5.8) program.
+	HasAbstract bool
+
+	file *File
+	prog *rProgram
+	abs  *rProgram
+}
+
+// reservedNames may not name globals, locals, arguments or node kinds:
+// they are keywords or built-in constants of the language.
+var reservedNames = map[string]bool{
+	"model": true, "node": true, "globals": true, "heap": true,
+	"spec": true, "init": true, "method": true, "abstract": true,
+	"var": true, "goto": true, "return": true, "if": true, "else": true,
+	"cas": true, "alloc": true, "free": true, "lockbased": true,
+	"vals": true, "totalops": true, "self": true, "nil": true,
+	"ok": true, "empty": true, "true": true, "false": true, "null": true,
+	"val": true, "ptr": true, "mark": true, "stack": true, "queue": true,
+	"set": true, "contains": true,
+}
+
+// specShapes maps each spec kind to the method signatures the model must
+// expose so that its visible actions coincide with the specification's.
+var specShapes = map[string][]struct {
+	name   string
+	hasArg bool
+}{
+	"stack": {{"Push", true}, {"Pop", false}},
+	"queue": {{"Enq", true}, {"Deq", false}},
+	"set":   {{"Add", true}, {"Remove", true}},
+}
+
+// fieldInfo is a resolved node field.
+type fieldInfo struct {
+	acc   fieldAcc
+	class string
+	node  string
+}
+
+// checker resolves and validates a parsed File, collecting every
+// diagnostic rather than stopping at the first.
+type checker struct {
+	file *File
+	errs ErrorList
+
+	globalIdx  map[string]int
+	globalKind []string // "val" | "ptr", by index
+	nodeIdx    map[string]int32
+	fields     map[string]fieldInfo
+}
+
+// Check resolves, typechecks and compiles a parsed model. On failure it
+// returns an ErrorList with every positioned diagnostic.
+func Check(f *File) (*Model, error) {
+	c := &checker{
+		file:      f,
+		globalIdx: map[string]int{},
+		nodeIdx:   map[string]int32{},
+		fields:    map[string]fieldInfo{},
+	}
+	c.checkNodes()
+	c.checkGlobals()
+	if f.Spec == nil {
+		c.errs.errorf(f.Pos, "model %s is missing its spec block (declare: spec stack | queue | set [contains])", f.Name)
+	}
+	if len(f.Methods) == 0 {
+		c.errs.errorf(f.Pos, "model %s declares no methods", f.Name)
+	}
+	prog := c.checkProgram(f.Name, f.Methods, false)
+	prog.init = c.checkInit(f.Init)
+	var abs *rProgram
+	if f.Abstract != nil {
+		if len(f.Abstract.Methods) == 0 {
+			c.errs.errorf(f.Abstract.Pos, "abstract block declares no methods")
+		}
+		abs = c.checkProgram(f.Name+"-abstract", f.Abstract.Methods, true)
+		abs.init = prog.init
+	}
+	if f.Spec != nil {
+		c.checkSpecShape(f.Spec, f.Methods)
+	}
+	if err := c.errs.toError(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Name:        f.Name,
+		LockBased:   f.LockBased,
+		SpecKind:    f.Spec.Kind,
+		HasAbstract: abs != nil,
+		file:        f,
+		prog:        prog,
+		abs:         abs,
+	}
+	m.SpecContains = f.Spec.Contains
+	return m, nil
+}
+
+func (c *checker) reserved(pos Pos, what, name string) bool {
+	if reservedNames[name] {
+		c.errs.errorf(pos, "%s name %q is a reserved word", what, name)
+		return true
+	}
+	return false
+}
+
+func (c *checker) checkNodes() {
+	for _, n := range c.file.Nodes {
+		if _, dup := c.nodeIdx[n.Name]; dup {
+			c.errs.errorf(n.Pos, "duplicate node kind %s", n.Name)
+			continue
+		}
+		if c.reserved(n.Pos, "node kind", n.Name) {
+			continue
+		}
+		c.nodeIdx[n.Name] = int32(len(c.nodeIdx)) + 1
+		counts := map[string]int{}
+		seen := map[string]Pos{}
+		for _, fd := range n.Fields {
+			if first, dup := seen[fd.Name]; dup {
+				c.errs.errorf(fd.Pos, "duplicate field %s in node %s (first declared at %s)", fd.Name, n.Name, first)
+				continue
+			}
+			seen[fd.Name] = fd.Pos
+			i := counts[fd.Class]
+			counts[fd.Class]++
+			var acc fieldAcc
+			switch fd.Class {
+			case "val":
+				if i >= len(valFieldSlots) {
+					c.errs.errorf(fd.Pos, "field index out of range: node %s declares more than %d val fields (machine.Node provides Val, Key, C, D)", n.Name, len(valFieldSlots))
+					continue
+				}
+				acc = valFieldSlots[i]
+			case "ptr":
+				if i >= len(ptrFieldSlots) {
+					c.errs.errorf(fd.Pos, "field index out of range: node %s declares more than %d ptr fields (machine.Node provides Next, A, B)", n.Name, len(ptrFieldSlots))
+					continue
+				}
+				acc = ptrFieldSlots[i]
+			case "mark":
+				if i >= 1 {
+					c.errs.errorf(fd.Pos, "field index out of range: node %s declares more than one mark field", n.Name)
+					continue
+				}
+				acc = fMark
+			}
+			// Field names are resolved without knowing the node kind a
+			// pointer refers to, so a name shared between node kinds must
+			// map to the same machine.Node field in all of them.
+			if prev, ok := c.fields[fd.Name]; ok {
+				if prev.acc != acc {
+					c.errs.errorf(fd.Pos, "field %s maps to machine.Node.%s here but to machine.Node.%s in node %s; field names must resolve uniquely across node kinds",
+						fd.Name, fieldAccNames[acc], fieldAccNames[prev.acc], prev.node)
+				}
+				continue
+			}
+			c.fields[fd.Name] = fieldInfo{acc: acc, class: fd.Class, node: n.Name}
+		}
+	}
+}
+
+func (c *checker) checkGlobals() {
+	for _, g := range c.file.Globals {
+		if _, dup := c.globalIdx[g.Name]; dup {
+			c.errs.errorf(g.Pos, "duplicate global %s", g.Name)
+			continue
+		}
+		if c.reserved(g.Pos, "global", g.Name) {
+			continue
+		}
+		c.globalIdx[g.Name] = len(c.globalKind)
+		c.globalKind = append(c.globalKind, g.Kind)
+	}
+}
+
+// methodScope is the per-method resolution environment.
+type methodScope struct {
+	c        *checker
+	method   *MethodDecl
+	argName  string
+	localIdx map[string]int
+	locals   []*VarDecl
+	labels   map[string]int
+	fresh    map[int]bool // local slot -> only ever assigned from alloc
+	exempt   bool         // abstract methods skip the access discipline
+}
+
+// checkProgram resolves a method list (the implementation, or the
+// abstract program) into a compiled template. Abstract methods are
+// exempt from the one-shared-access-per-statement discipline.
+func (c *checker) checkProgram(name string, methods []*MethodDecl, exempt bool) *rProgram {
+	p := &rProgram{name: name}
+	p.globalNames = make([]string, len(c.globalKind))
+	p.globalKinds = make([]machine.VarKind, len(c.globalKind))
+	for _, g := range c.file.Globals {
+		i, ok := c.globalIdx[g.Name]
+		if !ok {
+			continue
+		}
+		p.globalNames[i] = g.Name
+		p.globalKinds[i] = kindOf(g.Kind)
+	}
+	heap := c.file.Heap
+	if heap == nil {
+		p.heapTotalOps, p.heapExtra = true, 1
+	} else {
+		p.heapTotalOps, p.heapExtra = heap.TotalOps, heap.Extra
+	}
+
+	seen := map[string]Pos{}
+	var localKinds []machine.VarKind
+	var localKindSrc []*VarDecl
+	for _, m := range methods {
+		if first, dup := seen[m.Name]; dup {
+			c.errs.errorf(m.Pos, "duplicate method %s (first declared at %s)", m.Name, first)
+			continue
+		}
+		seen[m.Name] = m.Pos
+		sc := c.newMethodScope(m, exempt)
+		// Locals are positional: the i-th declared local of every method
+		// shares register slot i, so their kinds must agree.
+		for i, l := range m.Locals {
+			k := kindOf(l.Kind)
+			if i == len(localKinds) {
+				localKinds = append(localKinds, k)
+				localKindSrc = append(localKindSrc, l)
+			} else if localKinds[i] != k {
+				c.errs.errorf(l.Pos, "local %s occupies register slot %d as %s, but %s at %s declared that slot as %s (locals are positional across methods)",
+					l.Name, i, l.Kind, localKindSrc[i].Name, localKindSrc[i].Pos, localKindSrc[i].Kind)
+			}
+		}
+		p.methods = append(p.methods, sc.resolveMethod())
+	}
+	p.nlocals = len(localKinds)
+	p.localKinds = localKinds
+	return p
+}
+
+func kindOf(k string) machine.VarKind {
+	if k == "ptr" {
+		return machine.KPtr
+	}
+	return machine.KVal
+}
+
+func (c *checker) newMethodScope(m *MethodDecl, exempt bool) *methodScope {
+	sc := &methodScope{
+		c:        c,
+		method:   m,
+		localIdx: map[string]int{},
+		labels:   map[string]int{},
+		fresh:    map[int]bool{},
+		exempt:   exempt,
+	}
+	if m.ArgName != "" {
+		if !c.reserved(m.ArgPos, "argument", m.ArgName) {
+			if _, clash := c.globalIdx[m.ArgName]; clash {
+				c.errs.errorf(m.ArgPos, "argument %s shadows a global", m.ArgName)
+			} else {
+				sc.argName = m.ArgName
+			}
+		}
+		if !m.ArgVals && len(m.ArgSet) == 0 {
+			c.errs.errorf(m.ArgPos, "argument %s has an empty domain", m.ArgName)
+		}
+	}
+	for _, l := range m.Locals {
+		if _, dup := sc.localIdx[l.Name]; dup {
+			c.errs.errorf(l.Pos, "duplicate local %s in method %s", l.Name, m.Name)
+			continue
+		}
+		if c.reserved(l.Pos, "local", l.Name) {
+			continue
+		}
+		if _, clash := c.globalIdx[l.Name]; clash {
+			c.errs.errorf(l.Pos, "local %s shadows a global", l.Name)
+			continue
+		}
+		if l.Name == sc.argName {
+			c.errs.errorf(l.Pos, "local %s shadows the method argument", l.Name)
+			continue
+		}
+		sc.localIdx[l.Name] = len(sc.locals)
+		sc.locals = append(sc.locals, l)
+	}
+	for i, s := range m.Stmts {
+		if first, dup := sc.labels[s.Label]; dup {
+			c.errs.errorf(s.Pos, "duplicate statement label %s in method %s (first at statement %d)", s.Label, m.Name, first)
+			continue
+		}
+		sc.labels[s.Label] = i
+	}
+	if len(m.Stmts) == 0 {
+		c.errs.errorf(m.Pos, "method %s has no statements", m.Name)
+	}
+	sc.computeFresh()
+	return sc
+}
+
+// computeFresh marks ptr locals whose every assignment in the method is
+// "= alloc(...)": a node such a local points to was allocated by the
+// running invocation and is unreachable by other threads until published
+// through a shared location, so field accesses through it do not count
+// as shared-memory accesses.
+func (sc *methodScope) computeFresh() {
+	assigned := map[int]bool{} // local slot -> has a non-alloc assignment
+	allocd := map[int]bool{}
+	var walk func(seq []Instr)
+	walk = func(seq []Instr) {
+		for _, in := range seq {
+			switch in := in.(type) {
+			case *Assign:
+				if in.LHS.Field == "" {
+					if slot, ok := sc.localIdx[in.LHS.Base]; ok {
+						if in.AllocKind != "" {
+							allocd[slot] = true
+						} else {
+							assigned[slot] = true
+						}
+					}
+				}
+			case *If:
+				walk(in.Then)
+				walk(in.Else)
+			}
+		}
+	}
+	for _, s := range sc.method.Stmts {
+		walk(s.Body)
+	}
+	for slot := range allocd {
+		if !assigned[slot] && sc.locals[slot].Kind == "ptr" {
+			sc.fresh[slot] = true
+		}
+	}
+}
+
+func (sc *methodScope) resolveMethod() rMethod {
+	m := sc.method
+	rm := rMethod{name: m.Name, argVals: m.ArgVals, argSet: m.ArgSet}
+	for _, s := range m.Stmts {
+		body, _ := sc.resolveSeq(s.Body)
+		acc := &accessCount{}
+		if !sc.exempt {
+			sc.countAccesses(s, s.Body, acc)
+		}
+		if !sc.seqTerminates(body) {
+			sc.c.errs.errorf(s.Pos, "statement %s can fall off the end: every execution path must finish with goto or return", s.Label)
+		}
+		rm.stmts = append(rm.stmts, rStmt{label: s.Label, body: body})
+	}
+	return rm
+}
+
+// seqTerminates reports whether every path through seq ends in goto or
+// return, and flags unreachable instructions after a terminator.
+func (sc *methodScope) seqTerminates(seq []rInstr) bool {
+	for i := range seq {
+		in := &seq[i]
+		var term bool
+		switch in.op {
+		case opGoto, opReturn:
+			term = true
+		case opIfCmp, opIfCas:
+			term = len(in.els) > 0 && sc.seqTerminates(in.then) && sc.seqTerminates(in.els)
+			if !term {
+				// A non-terminating branch falls through; keep scanning.
+				sc.seqTerminates(in.then)
+				sc.seqTerminates(in.els)
+			}
+		}
+		if term {
+			if i != len(seq)-1 {
+				sc.c.errs.errorf(seq[i+1].pos, "unreachable instruction (the previous instruction always transfers control)")
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// resolveSeq resolves an instruction sequence; the bool reports whether
+// resolution of every instruction succeeded.
+func (sc *methodScope) resolveSeq(seq []Instr) ([]rInstr, bool) {
+	out := make([]rInstr, 0, len(seq))
+	ok := true
+	for _, in := range seq {
+		ri, good := sc.resolveInstr(in)
+		out = append(out, ri)
+		ok = ok && good
+	}
+	return out, ok
+}
+
+func (sc *methodScope) resolveInstr(in Instr) (rInstr, bool) {
+	c := sc.c
+	switch in := in.(type) {
+	case *Goto:
+		idx, ok := sc.labels[in.Label]
+		if !ok {
+			c.errs.errorf(in.P, "goto %s: no statement with that label in method %s", in.Label, sc.method.Name)
+			return rInstr{op: opGoto, pos: in.P}, false
+		}
+		return rInstr{op: opGoto, target: idx, pos: in.P}, true
+	case *Return:
+		val, kind, ok := sc.resolveExpr(in.Val)
+		if ok && kind == "ptr" {
+			c.errs.errorf(in.Val.P, "cannot return a pointer: return values are data values")
+			ok = false
+		}
+		return rInstr{op: opReturn, a: val, pos: in.P}, ok
+	case *Free:
+		loc, kind, ok := sc.resolveVar(in.NamePos, in.Name)
+		if ok && kind != "ptr" {
+			c.errs.errorf(in.NamePos, "free(%s): %s is not a pointer", in.Name, in.Name)
+			ok = false
+		}
+		return rInstr{op: opFree, lhs: loc, pos: in.P}, ok
+	case *CasStmt:
+		ri, ok := sc.resolveCas(in.Cas)
+		ri.op = opCas
+		ri.pos = in.P
+		return ri, ok
+	case *If:
+		ri := rInstr{pos: in.P}
+		var ok bool
+		if in.Cond.Cas != nil {
+			ri, ok = sc.resolveCas(in.Cond.Cas)
+			ri.op = opIfCas
+			ri.pos = in.P
+		} else {
+			x, xk, okx := sc.resolveExpr(in.Cond.X)
+			y, yk, oky := sc.resolveExpr(in.Cond.Y)
+			ok = okx && oky
+			if ok && xk != yk {
+				c.errs.errorf(in.Cond.P, "comparison mixes %s and %s operands", xk, yk)
+				ok = false
+			}
+			ri.op = opIfCmp
+			ri.a, ri.b = x, y
+			ri.negate = in.Cond.Op == "!="
+		}
+		then, okt := sc.resolveSeq(in.Then)
+		els, oke := sc.resolveSeq(in.Else)
+		ri.then, ri.els = then, els
+		return ri, ok && okt && oke
+	case *Assign:
+		lhs, lk, ok := sc.resolveLValue(&in.LHS)
+		if in.AllocKind != "" {
+			kind, found := c.nodeIdx[in.AllocKind]
+			if !found {
+				c.errs.errorf(in.AllocPos, "alloc(%s): no node kind named %s", in.AllocKind, in.AllocKind)
+				ok = false
+			}
+			if ok && (lhs.kind == locField || lk != "ptr") {
+				c.errs.errorf(in.LHS.P, "alloc result must be stored in a ptr variable")
+				ok = false
+			}
+			return rInstr{op: opAlloc, lhs: lhs, allocKind: kind, pos: in.P}, ok
+		}
+		rhs, rk, okr := sc.resolveExpr(in.RHS)
+		ok = ok && okr
+		if ok && lk != rk {
+			c.errs.errorf(in.P, "cannot assign %s expression to %s location %s", rk, lk, lvName(&in.LHS))
+			ok = false
+		}
+		return rInstr{op: opAssign, lhs: lhs, a: rhs, pos: in.P}, ok
+	}
+	panic("bbvl: unknown instruction type")
+}
+
+func lvName(lv *LValue) string {
+	if lv.Field != "" {
+		return lv.Base + "." + lv.Field
+	}
+	return lv.Base
+}
+
+// resolveCas resolves the shared cas(target, exp, new) form used by both
+// the statement and the condition position.
+func (sc *methodScope) resolveCas(cs *Cas) (rInstr, bool) {
+	c := sc.c
+	loc, lk, ok := sc.resolveLValue(&cs.Target)
+	exp, ek, oke := sc.resolveExpr(cs.Exp)
+	nv, nk, okn := sc.resolveExpr(cs.NewVal)
+	ok = ok && oke && okn
+	if ok && (ek != lk || nk != lk) {
+		c.errs.errorf(cs.P, "cas operands must match the %s kind of %s", lk, lvName(&cs.Target))
+		ok = false
+	}
+	if ok && loc.kind == locLocal {
+		c.errs.errorf(cs.P, "cas target %s is a local; cas needs a shared location", lvName(&cs.Target))
+		ok = false
+	}
+	return rInstr{lhs: loc, a: exp, b: nv, pos: cs.P}, ok
+}
+
+// resolveVar resolves a bare variable name to a location and its kind.
+func (sc *methodScope) resolveVar(pos Pos, name string) (rLoc, string, bool) {
+	if slot, ok := sc.localIdx[name]; ok {
+		return rLoc{kind: locLocal, idx: slot, pos: pos, name: name}, sc.locals[slot].Kind, true
+	}
+	if gi, ok := sc.c.globalIdx[name]; ok {
+		return rLoc{kind: locGlobal, idx: gi, pos: pos, name: name}, sc.c.globalKind[gi], true
+	}
+	sc.c.errs.errorf(pos, "undefined variable %s", name)
+	return rLoc{pos: pos, name: name}, "val", false
+}
+
+// resolveLValue resolves a variable or field location; the string is the
+// location's kind ("val", "ptr"; mark fields resolve as "val").
+func (sc *methodScope) resolveLValue(lv *LValue) (rLoc, string, bool) {
+	base, bk, ok := sc.resolveVar(lv.P, lv.Base)
+	if lv.Field == "" {
+		return base, bk, ok
+	}
+	if ok && bk != "ptr" {
+		sc.c.errs.errorf(lv.P, "%s is not a pointer: cannot access field %s", lv.Base, lv.Field)
+		ok = false
+	}
+	fi, found := sc.c.fields[lv.Field]
+	if !found {
+		sc.c.errs.errorf(lv.FieldPos, "no node kind declares a field named %s", lv.Field)
+		return rLoc{kind: locField, pos: lv.P, name: lvName(lv)}, "val", false
+	}
+	loc := rLoc{
+		kind:       locField,
+		idx:        base.idx,
+		baseGlobal: base.kind == locGlobal,
+		field:      fi.acc,
+		pos:        lv.P,
+		name:       lvName(lv),
+	}
+	kind := fi.class
+	if kind == "mark" {
+		kind = "val"
+	}
+	return loc, kind, ok
+}
+
+// constValues maps the built-in constants to their machine values.
+var constValues = map[string]int32{
+	"ok":    machine.ValOK,
+	"empty": machine.ValEmpty,
+	"null":  machine.ValNull,
+	"true":  machine.ValTrue,
+	"false": machine.ValFalse,
+}
+
+// resolveExpr resolves an operand expression to (operand, kind, ok).
+func (sc *methodScope) resolveExpr(e *Expr) (rOperand, string, bool) {
+	if e == nil {
+		return rOperand{}, "val", false
+	}
+	if e.IsInt {
+		return rOperand{kind: oLit, lit: e.Int}, "val", true
+	}
+	if e.Field != "" {
+		loc, kind, ok := sc.resolveLValue(&LValue{P: e.P, Base: e.Name, Field: e.Field, FieldPos: e.FieldPos})
+		return rOperand{kind: oLoc, loc: loc}, kind, ok
+	}
+	switch e.Name {
+	case "nil":
+		return rOperand{kind: oLit, lit: 0}, "ptr", true
+	case "self":
+		return rOperand{kind: oSelf}, "val", true
+	}
+	if v, ok := constValues[e.Name]; ok {
+		return rOperand{kind: oLit, lit: v}, "val", true
+	}
+	if e.Name == sc.argName && sc.argName != "" {
+		return rOperand{kind: oArg}, "val", true
+	}
+	loc, kind, ok := sc.resolveVar(e.P, e.Name)
+	return rOperand{kind: oLoc, loc: loc}, kind, ok
+}
+
+// accessCount tracks the distinct shared locations an atomic statement
+// writes (or CASes, allocates, frees).
+type accessCount struct {
+	locs  map[string]bool
+	first Pos
+}
+
+func (a *accessCount) add(sc *methodScope, stmt *Stmt, key string, pos Pos) {
+	if a.locs == nil {
+		a.locs = map[string]bool{}
+	}
+	if a.locs[key] {
+		return
+	}
+	a.locs[key] = true
+	if len(a.locs) == 1 {
+		a.first = pos
+		return
+	}
+	sc.c.errs.errorf(pos, "statement %s performs %d shared-memory writes (first at %s): the model discipline is one shared access per atomic statement",
+		stmt.Label, len(a.locs), a.first)
+}
+
+// countAccesses enforces the granularity discipline on an implementation
+// statement: at most one destructive shared access (global write or CAS,
+// field write or CAS, alloc, free) per atomic statement. Reads ride
+// along (the paper's models snapshot several variables in one step, e.g.
+// MS queue's L19), as do writes through fresh unpublished nodes and
+// reads of immutable val fields. It also rejects a CAS on a plain val
+// variable whose result is discarded: without branching on the outcome
+// such a CAS cannot be distinguished from a blind write, which is
+// invariably a modeling mistake.
+func (sc *methodScope) countAccesses(stmt *Stmt, seq []Instr, acc *accessCount) {
+	for _, in := range seq {
+		switch in := in.(type) {
+		case *Assign:
+			if in.AllocKind != "" {
+				acc.add(sc, stmt, "alloc@"+in.P.String(), in.P)
+				continue
+			}
+			if key, shared := sc.sharedWriteKey(&in.LHS); shared {
+				acc.add(sc, stmt, key, in.P)
+			}
+		case *Free:
+			acc.add(sc, stmt, "free@"+in.P.String(), in.P)
+		case *CasStmt:
+			sc.checkUnguardedCas(in.Cas)
+			if key, shared := sc.sharedWriteKey(&in.Cas.Target); shared {
+				acc.add(sc, stmt, key, in.Cas.P)
+			}
+		case *If:
+			if in.Cond.Cas != nil {
+				if key, shared := sc.sharedWriteKey(&in.Cond.Cas.Target); shared {
+					acc.add(sc, stmt, key, in.Cond.Cas.P)
+				}
+			}
+			sc.countAccesses(stmt, in.Then, acc)
+			sc.countAccesses(stmt, in.Else, acc)
+		}
+	}
+}
+
+// checkUnguardedCas rejects statement-position CAS on plain val
+// locations (the "unguarded CAS on a plain variable" diagnostic).
+func (sc *methodScope) checkUnguardedCas(cs *Cas) {
+	lv := &cs.Target
+	kind := ""
+	if lv.Field == "" {
+		if gi, ok := sc.c.globalIdx[lv.Base]; ok {
+			kind = sc.c.globalKind[gi]
+		} else if slot, ok := sc.localIdx[lv.Base]; ok {
+			kind = sc.locals[slot].Kind
+		}
+	} else if fi, ok := sc.c.fields[lv.Field]; ok {
+		kind = fi.class
+	}
+	if kind == "val" {
+		sc.c.errs.errorf(cs.P, "unguarded cas on plain (val) variable %s discards its result; branch on it with if cas(...)", lvName(lv))
+	}
+}
+
+// sharedWriteKey returns a location identity for a destructive access,
+// and whether it touches shared memory at all (writes through fresh
+// unpublished nodes do not).
+func (sc *methodScope) sharedWriteKey(lv *LValue) (string, bool) {
+	if lv.Field == "" {
+		if _, isLocal := sc.localIdx[lv.Base]; isLocal {
+			return "", false // local register write
+		}
+		return "g:" + lv.Base, true
+	}
+	if slot, isLocal := sc.localIdx[lv.Base]; isLocal && sc.fresh[slot] {
+		return "", false // field of a fresh, unpublished node
+	}
+	return "f:" + lv.Base + "." + lv.Field, true
+}
+
+// checkInit validates the init block: straight-line global and field
+// initialization only.
+func (c *checker) checkInit(seq []Instr) []rInstr {
+	if len(seq) == 0 {
+		return nil
+	}
+	// Init shares the resolution machinery via a scope with no locals,
+	// no argument and no labels.
+	sc := &methodScope{
+		c:        c,
+		method:   &MethodDecl{Name: "init"},
+		localIdx: map[string]int{},
+		labels:   map[string]int{},
+		fresh:    map[int]bool{},
+		exempt:   true,
+	}
+	var out []rInstr
+	for _, in := range seq {
+		as, ok := in.(*Assign)
+		if !ok {
+			c.errs.errorf(in.pos(), "init blocks allow only assignments and allocations")
+			continue
+		}
+		ri, good := sc.resolveInstr(as)
+		if good {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// checkSpecShape verifies the model exposes exactly the method
+// signatures its specification exposes, so their visible call/return
+// alphabets can coincide.
+func (c *checker) checkSpecShape(s *SpecDecl, methods []*MethodDecl) {
+	shape := append([]struct {
+		name   string
+		hasArg bool
+	}{}, specShapes[s.Kind]...)
+	if s.Kind == "set" && s.Contains {
+		shape = append(shape, struct {
+			name   string
+			hasArg bool
+		}{"Contains", true})
+	}
+	byName := map[string]*MethodDecl{}
+	for _, m := range methods {
+		byName[m.Name] = m
+	}
+	for _, want := range shape {
+		m, ok := byName[want.name]
+		if !ok {
+			c.errs.errorf(s.Pos, "spec %s requires a method named %s", specName(s), want.name)
+			continue
+		}
+		if want.hasArg && m.ArgName == "" {
+			c.errs.errorf(m.Pos, "method %s must take an argument to match spec %s", m.Name, specName(s))
+		}
+		if !want.hasArg && m.ArgName != "" {
+			c.errs.errorf(m.ArgPos, "method %s must not take an argument to match spec %s", m.Name, specName(s))
+		}
+		delete(byName, want.name)
+	}
+	for _, m := range byName {
+		c.errs.errorf(m.Pos, "method %s is not part of spec %s (the specification cannot match its call/return actions)", m.Name, specName(s))
+	}
+}
+
+func specName(s *SpecDecl) string {
+	if s.Kind == "set" && s.Contains {
+		return "set contains"
+	}
+	return s.Kind
+}

@@ -1,0 +1,197 @@
+package bbvl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// Dump renders the compiled form of the model: the shared-state schema,
+// the node-field layout onto machine.Node, the local register slots, and
+// every method body in resolved form. It is the output of "bbverify
+// compile" and exists so a model author can see exactly which
+// machine-level program their source produces.
+func (m *Model) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model %s (spec %s)\n", m.Name, specDisplay(m))
+	if m.LockBased {
+		b.WriteString("lockbased: liveness is checked as deadlock-freedom\n")
+	}
+
+	b.WriteString("globals:\n")
+	for i, name := range m.prog.globalNames {
+		fmt.Fprintf(&b, "  [%d] %s %s\n", i, name, kindName(m.prog.globalKinds[i]))
+	}
+
+	for ni, n := range m.file.Nodes {
+		fmt.Fprintf(&b, "node %s -> heap kind %d:\n", n.Name, ni+1)
+		counts := map[string]int{}
+		for _, fd := range n.Fields {
+			i := counts[fd.Class]
+			counts[fd.Class]++
+			var acc fieldAcc
+			switch fd.Class {
+			case "val":
+				acc = valFieldSlots[i]
+			case "ptr":
+				acc = ptrFieldSlots[i]
+			default:
+				acc = fMark
+			}
+			fmt.Fprintf(&b, "  %s (%s) -> machine.Node.%s\n", fd.Name, fd.Class, fieldAccNames[acc])
+		}
+	}
+
+	if m.prog.heapTotalOps {
+		fmt.Fprintf(&b, "heap: threads*ops + %d cells\n", m.prog.heapExtra)
+	} else {
+		fmt.Fprintf(&b, "heap: %d cells\n", m.prog.heapExtra)
+	}
+
+	fmt.Fprintf(&b, "locals: %d slots", m.prog.nlocals)
+	for i, k := range m.prog.localKinds {
+		if i == 0 {
+			b.WriteString(" [")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "l%d %s", i, kindName(k))
+	}
+	if m.prog.nlocals > 0 {
+		b.WriteString("]")
+	}
+	b.WriteString("\n")
+
+	m.dumpMethods(&b, m.prog, "method")
+	if m.abs != nil {
+		b.WriteString("abstract:\n")
+		m.dumpMethods(&b, m.abs, "  method")
+	}
+	return b.String()
+}
+
+func specDisplay(m *Model) string {
+	if m.SpecKind == "set" && m.SpecContains {
+		return "set contains"
+	}
+	return m.SpecKind
+}
+
+func kindName(k machine.VarKind) string {
+	if k == machine.KPtr {
+		return "ptr"
+	}
+	return "val"
+}
+
+func (m *Model) dumpMethods(b *strings.Builder, p *rProgram, keyword string) {
+	indent := strings.Repeat(" ", strings.Index(keyword, "m"))
+	for i := range p.methods {
+		rm := &p.methods[i]
+		switch {
+		case rm.argVals:
+			fmt.Fprintf(b, "%s %s(vals):\n", keyword, rm.name)
+		case len(rm.argSet) > 0:
+			fmt.Fprintf(b, "%s %s(%s):\n", keyword, rm.name, joinInts(rm.argSet))
+		default:
+			fmt.Fprintf(b, "%s %s():\n", keyword, rm.name)
+		}
+		for j := range rm.stmts {
+			st := &rm.stmts[j]
+			fmt.Fprintf(b, "%s  %s: %s\n", indent, st.label, m.renderSeq(rm, st.body))
+		}
+	}
+}
+
+func joinInts(vs []int32) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (m *Model) renderSeq(rm *rMethod, seq []rInstr) string {
+	parts := make([]string, len(seq))
+	for i := range seq {
+		parts[i] = m.renderInstr(rm, &seq[i])
+	}
+	return strings.Join(parts, "; ")
+}
+
+func (m *Model) renderInstr(rm *rMethod, in *rInstr) string {
+	switch in.op {
+	case opAssign:
+		return m.renderLoc(&in.lhs) + " = " + m.renderOp(&in.a)
+	case opAlloc:
+		return fmt.Sprintf("%s = alloc(%s)", m.renderLoc(&in.lhs), m.nodeName(in.allocKind))
+	case opFree:
+		return "free(" + m.renderLoc(&in.lhs) + ")"
+	case opCas:
+		return m.renderCas(in)
+	case opGoto:
+		return "goto " + rm.stmts[in.target].label
+	case opReturn:
+		return "return " + m.renderOp(&in.a)
+	case opIfCmp, opIfCas:
+		var cond string
+		if in.op == opIfCas {
+			cond = m.renderCas(in)
+		} else {
+			op := "=="
+			if in.negate {
+				op = "!="
+			}
+			cond = m.renderOp(&in.a) + " " + op + " " + m.renderOp(&in.b)
+		}
+		s := "if " + cond + " { " + m.renderSeq(rm, in.then) + " }"
+		if len(in.els) > 0 {
+			s += " else { " + m.renderSeq(rm, in.els) + " }"
+		}
+		return s
+	}
+	return "?"
+}
+
+func (m *Model) renderCas(in *rInstr) string {
+	return fmt.Sprintf("cas(%s, %s, %s)", m.renderLoc(&in.lhs), m.renderOp(&in.a), m.renderOp(&in.b))
+}
+
+func (m *Model) renderLoc(l *rLoc) string {
+	switch l.kind {
+	case locGlobal:
+		return m.prog.globalNames[l.idx]
+	case locLocal:
+		return fmt.Sprintf("l%d", l.idx)
+	default:
+		var base string
+		if l.baseGlobal {
+			base = m.prog.globalNames[l.idx]
+		} else {
+			base = fmt.Sprintf("l%d", l.idx)
+		}
+		return base + "." + fieldAccNames[l.field]
+	}
+}
+
+func (m *Model) renderOp(o *rOperand) string {
+	switch o.kind {
+	case oLit:
+		return machine.FormatValue(o.lit)
+	case oArg:
+		return "arg"
+	case oSelf:
+		return "self"
+	default:
+		return m.renderLoc(&o.loc)
+	}
+}
+
+func (m *Model) nodeName(kind int32) string {
+	i := int(kind) - 1
+	if i >= 0 && i < len(m.file.Nodes) {
+		return m.file.Nodes[i].Name
+	}
+	return fmt.Sprintf("kind%d", kind)
+}

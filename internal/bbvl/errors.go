@@ -1,0 +1,56 @@
+package bbvl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a position in a model source file, 1-based in both line and
+// column. File is the (virtual) filename the source was loaded under.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders the conventional file:line:col form.
+func (p Pos) String() string { return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col) }
+
+// Error is one positioned diagnostic produced by the lexer, parser or
+// typechecker.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface as "file:line:col: message".
+func (e *Error) Error() string { return e.Pos.String() + ": " + e.Msg }
+
+// ErrorList is a non-empty list of diagnostics in source order. Load,
+// Parse and Check return their failures as an ErrorList so callers (the
+// bbvd service in particular) can surface every positioned diagnostic,
+// not just the first.
+type ErrorList []*Error
+
+// Error implements the error interface, joining the diagnostics with
+// newlines.
+func (l ErrorList) Error() string {
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// errorf appends a positioned diagnostic.
+func (l *ErrorList) errorf(pos Pos, format string, args ...any) {
+	*l = append(*l, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// toError returns the list as an error, or nil when empty.
+func (l ErrorList) toError() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}

@@ -1,0 +1,33 @@
+package bbvl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes through the whole front end (lexer,
+// parser, typechecker). The property under test: Load never panics and
+// never loops — it either produces a Model or a positioned ErrorList.
+// Run long with: go test -fuzz=FuzzParse ./internal/bbvl
+func FuzzParse(f *testing.F) {
+	for _, name := range []string{"treiber.bbvl", "msqueue.bbvl", "spinlock-stack.bbvl"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "examples", "bbvl", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+	f.Add([]byte("model m\nspec stack\n"))
+	f.Add([]byte("model m\nnode c { a: val }\nglobals { G: ptr }\nmethod F() { P1: goto P1 }\n"))
+	f.Add([]byte("model m\nmethod F(x: {1,2}) { P1: if cas(G, 0, self) { return ok }; goto P1 }\n"))
+	f.Add([]byte("# only a comment"))
+	f.Add([]byte("model"))
+	f.Add([]byte("model m\ninit { G = alloc(c) }\nabstract { method F() { A1: return ok } }\n"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		m, err := Load("fuzz.bbvl", src)
+		if err == nil && m == nil {
+			t.Fatal("Load returned neither model nor error")
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package bbvl
+
+import (
+	"strings"
+	"testing"
+)
+
+// parseOK parses src expecting success.
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("p.bbvl", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+// wantParseErr parses src expecting a diagnostic at pos containing frag.
+func wantParseErr(t *testing.T, src, pos, frag string) {
+	t.Helper()
+	_, err := Parse("p.bbvl", []byte(src))
+	if err == nil {
+		t.Fatalf("parse succeeded; want error %q at %s", frag, pos)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, frag) {
+		t.Fatalf("error %q does not contain %q", msg, frag)
+	}
+	if !strings.HasPrefix(msg, pos+": ") {
+		t.Fatalf("error %q not positioned at %s", msg, pos)
+	}
+}
+
+func TestParseFullModel(t *testing.T) {
+	f := parseOK(t, `# comment
+model ms-queue
+node cell { val: val  next: ptr }
+globals { Head: ptr  Tail: ptr }
+heap totalops + 2
+spec queue
+init { Head = alloc(cell); Tail = Head }
+method Enq(v: vals) {
+  var t: ptr
+  L1: goto L1
+}
+method Deq() {
+  L2: return empty // trailing comment
+}
+abstract {
+  method Enq(v: vals) { A1: return ok }
+  method Deq() { A2: return empty }
+}
+`)
+	if f.Name != "ms-queue" {
+		t.Errorf("Name = %q", f.Name)
+	}
+	if f.Heap == nil || !f.Heap.TotalOps || f.Heap.Extra != 2 {
+		t.Errorf("heap = %+v", f.Heap)
+	}
+	if f.Spec == nil || f.Spec.Kind != "queue" {
+		t.Errorf("spec = %+v", f.Spec)
+	}
+	if len(f.Init) != 2 {
+		t.Errorf("init has %d instrs", len(f.Init))
+	}
+	if len(f.Methods) != 2 || f.Methods[0].Name != "Enq" || !f.Methods[0].ArgVals {
+		t.Errorf("methods = %+v", f.Methods)
+	}
+	if f.Abstract == nil || len(f.Abstract.Methods) != 2 {
+		t.Errorf("abstract = %+v", f.Abstract)
+	}
+}
+
+func TestParseArgSet(t *testing.T) {
+	f := parseOK(t, `model m
+spec stack
+method Push(v: {1, 2, 7}) { P1: return ok }
+method Pop() { P2: return empty }
+`)
+	m := f.Methods[0]
+	if m.ArgVals || len(m.ArgSet) != 3 || m.ArgSet[2] != 7 {
+		t.Errorf("arg set = vals=%v %v", m.ArgVals, m.ArgSet)
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	f := parseOK(t, `model m
+globals { G: val  H: val }
+spec stack
+method Push(v: vals) {
+  P1: if G == 1 { return ok } else { goto P1 }
+  P2: if G != H { goto P1 }; if cas(G, 0, 1) { return ok }; goto P2
+}
+method Pop() { P9: return empty }
+`)
+	body := f.Methods[0].Stmts[1].Body
+	if len(body) != 3 {
+		t.Fatalf("P2 has %d instrs, want 3", len(body))
+	}
+	first, ok := body[0].(*If)
+	if !ok || first.HasElse {
+		t.Errorf("P2[0] = %#v", body[0])
+	}
+	second, ok := body[1].(*If)
+	if !ok || second.Cond.Cas == nil {
+		t.Errorf("P2[1] = %#v", body[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, pos, frag string }{
+		{"node cell {}", "p.bbvl:1:1", `expected "model"`},
+		{"model m\nheap { }\n", "p.bbvl:2:6", "expected"},
+		{"model m\nspec tree\n", "p.bbvl:2:6", "unknown spec"},
+		{"model m\nspec stack\nspec stack\n", "p.bbvl:3:1", "duplicate spec"},
+		{"model m\nmethod F() {\n  P1: x = \n}\n", "p.bbvl:4:1", "expected"},
+		{"model m\nmethod F() {\n  P1: goto\n}\n", "p.bbvl:4:1", "expected"},
+		{"model m\nmethod F() {\n  P1:\n  P2: return ok\n}\n", "p.bbvl:3:3", "no instructions"},
+		{"model m\nmethod F() {\n  return ok\n}\n", "p.bbvl:3:3", "label"},
+		{"model m\n@\n", "p.bbvl:2:1", "unexpected character"},
+		{"model m\nmethod F() {\n  P1: if x ! y { }\n}\n", "p.bbvl:3:12", `"!" must be followed by "="`},
+	}
+	for _, c := range cases {
+		wantParseErr(t, c.src, c.pos, c.frag)
+	}
+}
+
+func TestParseDashIdent(t *testing.T) {
+	f := parseOK(t, `model spin-lock-stack
+spec stack
+method Push(v: vals) { P1: return ok }
+method Pop() { P2: return empty }
+`)
+	if f.Name != "spin-lock-stack" {
+		t.Errorf("Name = %q", f.Name)
+	}
+}

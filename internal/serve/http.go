@@ -42,14 +42,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Diagnostics carries positioned model errors (parse or type errors
+	// in a submitted model_source), so clients can point at the offending
+	// line instead of re-parsing the error string.
+	Diagnostics []api.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec api.JobSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error()})
+	spec, err := api.DecodeJobSpec(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
 	view, err := s.Submit(spec)
@@ -60,7 +62,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	default:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Diagnostics: api.Diagnostics(err)})
 		return
 	}
 	code := http.StatusAccepted
