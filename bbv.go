@@ -162,6 +162,27 @@ func CheckDeadlockFreeContext(ctx context.Context, impl *Program, in Instance) (
 	return core.CheckDeadlockFreeContext(ctx, impl, in.core())
 }
 
+// Session is a per-instance artifact store: explored state spaces,
+// quotients, τ-cycle analyses and equivalence verdicts are memoized, so
+// any combination of checks on the same programs explores and quotients
+// each artifact exactly once. Check results and Session.Stats carry
+// per-stage instrumentation ([]StageStat).
+type Session = core.Session
+
+// StageStat instruments one pipeline stage (name, wall time, input and
+// output sizes, refinement rounds, cache hit).
+type StageStat = core.StageStat
+
+// NewSession creates an artifact-reuse session for the instance. Reuse
+// keys on program identity, so build each program once and pass the same
+// pointer to every check:
+//
+//	s := bbv.NewSession(in)
+//	impl := alg.Build(in.Algorithm())
+//	lin, _ := s.CheckLinearizability(impl, alg.Spec(in.Algorithm()))
+//	lf, _ := s.CheckLockFreeAuto(impl) // reuses impl's LTS and quotient
+func NewSession(in Instance) *Session { return core.NewSession(in.core()) }
+
 // Exhibit regenerates one table or figure of the paper.
 type Exhibit = exhibits.Exhibit
 

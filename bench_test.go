@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/bisim"
+	"repro/internal/core"
 	"repro/internal/exhibits"
 	"repro/internal/ktrace"
 	"repro/internal/lts"
@@ -228,6 +229,73 @@ func BenchmarkKTraceHierarchy(b *testing.B) {
 			b.Fatal("hierarchy did not converge")
 		}
 	}
+}
+
+// BenchmarkReduceBranching measures the full Definition 5.1 reduction —
+// partition refinement plus quotient construction — the unit of work a
+// session memoizes per LTS.
+func BenchmarkReduceBranching(b *testing.B) {
+	l := buildLTS(b, "ms-queue", 2, 3, []int32{1})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q, p := bisim.ReduceBranching(l)
+		if q.NumStates() == 0 || p.Num == 0 {
+			b.Fatal("empty quotient")
+		}
+	}
+}
+
+// BenchmarkDivergenceSensitive measures the Theorem 5.9 core: deciding
+// Δ ≈div Δ/≈ on the buggy hazard-pointer Treiber stack (a divergent
+// system, so the τ-SCC flags matter).
+func BenchmarkDivergenceSensitive(b *testing.B) {
+	l := buildLTS(b, "treiber-hp-fu", 2, 2, nil)
+	q, _ := bisim.ReduceBranching(l)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bisim.Equivalent(l, q, bisim.KindDivBranching); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionReuse contrasts one-shot checks with an artifact
+// session for the Table II per-benchmark workload (linearizability then
+// lock-freedom of the same object): the session serves the second
+// check's exploration and quotient from the memo.
+func BenchmarkSessionReuse(b *testing.B) {
+	alg, err := algorithms.ByID("ms-queue")
+	if err != nil {
+		b.Fatal(err)
+	}
+	acfg := algorithms.Config{Threads: 2, Ops: 2, Vals: []int32{1}}
+	ccfg := core.Config{Threads: 2, Ops: 2}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CheckLinearizability(alg.Build(acfg), alg.Spec(acfg), ccfg); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.CheckLockFreeAuto(alg.Build(acfg), ccfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess := core.NewSession(ccfg)
+			impl := alg.Build(acfg)
+			if _, err := sess.CheckLinearizability(impl, alg.Spec(acfg)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.CheckLockFreeAuto(impl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTauSCC measures the τ-cycle (lock-freedom witness) analysis.

@@ -9,18 +9,30 @@
 // API (JSON unless noted):
 //
 //	POST   /v1/jobs        submit {"kind":"check|explore|ktrace","algorithm":"ms-queue","threads":2,"ops":2};
-//	                       instead of "algorithm", a job may inline a BBVL
-//	                       model as "model_source" (with an optional
+//	                       check jobs may select checks with
+//	                       "checks":["linearizability","lockfree","deadlock"]
+//	                       (unknown names are a 400 with per-name
+//	                       "diagnostics"; the list is part of the cache
+//	                       key); instead of "algorithm", a job may inline a
+//	                       BBVL model as "model_source" (with an optional
 //	                       "model_name" for diagnostics) — parse and type
 //	                       errors come back as a 400 with positioned
 //	                       "diagnostics"; the source text is part of the
 //	                       cache key
-//	GET    /v1/jobs/{id}   poll status; "done" carries the result, counterexamples included
+//	GET    /v1/jobs/{id}   poll status; "done" carries the result with
+//	                       counterexamples and a "stages" array — the
+//	                       per-stage instrumentation (explore, quotient,
+//	                       tau-scc, equivalence, trace-inclusion, ktrace)
+//	                       of the job's artifact session, cache-served
+//	                       stages marked "cached"
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /v1/jobs        list retained jobs
 //	GET    /v1/algorithms  the algorithm registry
 //	GET    /healthz        liveness
-//	GET    /metrics        counters (Prometheus text format)
+//	GET    /metrics        counters (Prometheus text format), including
+//	                       per-stage bbvd_stage_runs_total,
+//	                       bbvd_stage_cached_total and
+//	                       bbvd_stage_wall_seconds_total
 //
 // SIGINT/SIGTERM triggers graceful shutdown: intake stops, running jobs
 // drain, and after -drain-timeout stragglers are canceled.

@@ -202,6 +202,8 @@ func check(args []string) error {
 	cf := newFlags("check")
 	jsonOut := cf.fs.Bool("json", false, "emit the result as JSON (the same schema the bbvd service returns)")
 	specFile := cf.fs.String("spec", "", "run an api.JobSpec JSON file (strict decode) and print the result JSON")
+	verbose := cf.fs.Bool("v", false, "print a per-stage table (explore/quotient/equivalence...: wall time, sizes, refinement rounds, cache hits)")
+	checksFlag := cf.fs.String("checks", "", "comma-separated checks to run against one shared session: linearizability,lockfree,deadlock (default: linearizability plus lockfree or deadlock)")
 	if err := cf.fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,6 +217,12 @@ func check(args []string) error {
 	if err != nil {
 		return err
 	}
+	var checks []string
+	if *checksFlag != "" {
+		for _, c := range strings.Split(*checksFlag, ",") {
+			checks = append(checks, strings.TrimSpace(c))
+		}
+	}
 	if *jsonOut {
 		spec := api.JobSpec{
 			Kind:      api.KindCheck,
@@ -223,6 +231,7 @@ func check(args []string) error {
 			MaxStates: ccfg.MaxStates,
 			Workers:   ccfg.Workers,
 			Vals:      acfg.Vals,
+			Checks:    checks,
 		}
 		if *cf.model != "" {
 			spec.ModelSource = string(cf.modelSrc)
@@ -240,48 +249,99 @@ func check(args []string) error {
 	}
 	fmt.Printf("== %s (%d threads x %d ops) ==\n", alg.Display, ccfg.Threads, ccfg.Ops)
 
-	lin, err := core.CheckLinearizability(alg.Build(acfg), alg.Spec(acfg), ccfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("linearizability (Thm 5.3): %s   [%d states, quotient %d, spec quotient %d, %.2fs]\n",
-		verdict(lin.Linearizable), lin.ImplStates, lin.ImplQuotientStates, lin.SpecQuotient, lin.Elapsed.Seconds())
-	if !lin.Linearizable {
-		fmt.Println("non-linearizable history:")
-		fmt.Print(indent(lin.Counterexample.Format()))
-	}
-
-	if alg.LockBased {
-		dl, err := core.CheckDeadlockFree(alg.Build(acfg), ccfg)
-		if err != nil {
-			return err
+	// One session serves every check, so the object is explored and
+	// quotiented once no matter how many properties are verified.
+	sess := core.NewSession(ccfg)
+	impl := alg.Build(acfg)
+	if len(checks) == 0 {
+		checks = []string{api.CheckLinearizability}
+		if alg.LockBased {
+			checks = append(checks, api.CheckDeadlock)
+		} else {
+			checks = append(checks, api.CheckLockFree)
 		}
-		fmt.Printf("lock-freedom: skipped (lock-based algorithm); deadlock-free: %s\n", verdict(dl.DeadlockFree))
-		if !dl.DeadlockFree {
-			fmt.Println("deadlock witness:")
-			fmt.Print(indent(dl.Witness.Format()))
+	}
+	for _, c := range checks {
+		switch c {
+		case api.CheckLinearizability:
+			lin, err := sess.CheckLinearizability(impl, alg.Spec(acfg))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("linearizability (Thm 5.3): %s   [%d states, quotient %d, spec quotient %d, %.2fs]\n",
+				verdict(lin.Linearizable), lin.ImplStates, lin.ImplQuotientStates, lin.SpecQuotient, lin.Elapsed.Seconds())
+			if !lin.Linearizable {
+				fmt.Println("non-linearizable history:")
+				fmt.Print(indent(lin.Counterexample.Format()))
+			}
+		case api.CheckDeadlock:
+			dl, err := sess.CheckDeadlockFree(impl)
+			if err != nil {
+				return err
+			}
+			if alg.LockBased {
+				fmt.Printf("lock-freedom: skipped (lock-based algorithm); deadlock-free: %s\n", verdict(dl.DeadlockFree))
+			} else {
+				fmt.Printf("deadlock-free: %s   [%d states, %.2fs]\n", verdict(dl.DeadlockFree), dl.States, dl.Elapsed.Seconds())
+			}
+			if !dl.DeadlockFree {
+				fmt.Println("deadlock witness:")
+				fmt.Print(indent(dl.Witness.Format()))
+			}
+		case api.CheckLockFree:
+			lf, err := sess.CheckLockFreeAuto(impl)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("lock-freedom (Thm %s): %s   [%d states, quotient %d, %.2fs]\n",
+				lf.Theorem, verdict(lf.LockFree), lf.ImplStates, lf.AbstractStates, lf.Elapsed.Seconds())
+			if !lf.LockFree {
+				fmt.Println("divergence:")
+				fmt.Print(indent(lf.Divergence.Format()))
+			}
+			if alg.Abstract != nil {
+				ab, err := sess.CheckLockFreeAbstract(impl, alg.Abstract(acfg))
+				if err != nil {
+					return err
+				}
+				fmt.Printf("lock-freedom (Thm %s): %s   [object =div-bisim= abstract: %v, abstract %d states]\n",
+					ab.Theorem, verdict(ab.LockFree), ab.Bisimilar, ab.AbstractStates)
+			}
+		default:
+			return fmt.Errorf("unknown check %q (want %s, %s or %s)", c, api.CheckDeadlock, api.CheckLinearizability, api.CheckLockFree)
 		}
-		return nil
 	}
-	lf, err := core.CheckLockFreeAuto(alg.Build(acfg), ccfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("lock-freedom (Thm %s): %s   [%d states, quotient %d, %.2fs]\n",
-		lf.Theorem, verdict(lf.LockFree), lf.ImplStates, lf.AbstractStates, lf.Elapsed.Seconds())
-	if !lf.LockFree {
-		fmt.Println("divergence:")
-		fmt.Print(indent(lf.Divergence.Format()))
-	}
-	if alg.Abstract != nil {
-		ab, err := core.CheckLockFreeAbstract(alg.Build(acfg), alg.Abstract(acfg), ccfg)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("lock-freedom (Thm %s): %s   [object =div-bisim= abstract: %v, abstract %d states]\n",
-			ab.Theorem, verdict(ab.LockFree), ab.Bisimilar, ab.AbstractStates)
+	if *verbose {
+		printStageTable(sess.Stats())
 	}
 	return nil
+}
+
+// printStageTable renders the session's per-stage instrumentation.
+func printStageTable(stats []core.StageStat) {
+	sizes := func(st, tr int) string {
+		if st == 0 && tr == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d/%d", st, tr)
+	}
+	fmt.Println("\npipeline stages:")
+	fmt.Printf("  %-16s %-34s %10s %16s %16s %7s %7s\n",
+		"stage", "target", "time(ms)", "in(st/tr)", "out(st/tr)", "rounds", "cached")
+	for _, st := range stats {
+		rounds := "-"
+		if st.Rounds > 0 {
+			rounds = fmt.Sprint(st.Rounds)
+		}
+		cached := ""
+		if st.Cached {
+			cached = "yes"
+		}
+		fmt.Printf("  %-16s %-34s %10.2f %16s %16s %7s %7s\n",
+			st.Stage, st.Target, float64(st.Elapsed.Microseconds())/1e3,
+			sizes(st.StatesIn, st.TransitionsIn), sizes(st.StatesOut, st.TransitionsOut),
+			rounds, cached)
+	}
 }
 
 func exploreCmd(args []string) error {

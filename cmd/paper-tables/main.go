@@ -2,16 +2,22 @@
 // evaluation (Section VI). With no arguments it lists the available
 // exhibits; "all" runs every exhibit in paper order.
 //
-//	paper-tables [-quick] [-max-states N] [-workers N] all
-//	paper-tables [-quick] [-max-states N] [-workers N] table3 fig10 ...
+//	paper-tables [-quick] [-max-states N] [-workers N] [-stages] all
+//	paper-tables [-quick] [-max-states N] [-workers N] [-stages] table3 fig10 ...
+//
+// -stages appends a per-stage runtime accounting (explorations, quotient
+// reductions, equivalence checks, ...) to each exhibit, showing how much
+// work the exhibit's artifact sessions served from cache.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/exhibits"
 )
 
@@ -27,6 +33,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "run reduced instances (fast demo)")
 	maxStates := fs.Int("max-states", 0, "per-instance state budget (0 = default)")
 	workers := fs.Int("workers", 0, "exploration workers (0 = all cores, 1 = sequential)")
+	stages := fs.Bool("stages", false, "print per-stage runtime totals after each exhibit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,7 +66,47 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", e.Name, err)
 		}
 		fmt.Println(t.Render())
+		if *stages {
+			printStages(t.Stages)
+		}
 		fmt.Printf("[%s regenerated in %.1fs]\n\n", e.Paper, time.Since(start).Seconds())
 	}
 	return nil
+}
+
+// printStages aggregates an exhibit's per-stage instrumentation into
+// run/cache-hit/total-time totals per stage name.
+func printStages(stats []core.StageStat) {
+	if len(stats) == 0 {
+		return
+	}
+	type agg struct {
+		runs, cached int
+		elapsed      time.Duration
+	}
+	byStage := map[string]*agg{}
+	for _, st := range stats {
+		a := byStage[st.Stage]
+		if a == nil {
+			a = &agg{}
+			byStage[st.Stage] = a
+		}
+		if st.Cached {
+			a.cached++
+		} else {
+			a.runs++
+			a.elapsed += st.Elapsed
+		}
+	}
+	names := make([]string, 0, len(byStage))
+	for name := range byStage {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("stage totals:")
+	fmt.Printf("  %-16s %6s %8s %10s\n", "stage", "runs", "cached", "time (s)")
+	for _, name := range names {
+		a := byStage[name]
+		fmt.Printf("  %-16s %6d %8d %10.2f\n", name, a.runs, a.cached, a.elapsed.Seconds())
+	}
 }

@@ -14,11 +14,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/algorithms"
 	"repro/internal/bbvl"
-	"repro/internal/bisim"
 	"repro/internal/core"
 	"repro/internal/ktrace"
 	"repro/internal/lts"
@@ -65,6 +67,34 @@ type JobSpec struct {
 	// (default "model.bbvl"). Cosmetic only: it is excluded from the
 	// cache key.
 	ModelName string `json:"model_name,omitempty"`
+	// Checks selects which properties a "check" job verifies, any of
+	// "linearizability", "lockfree" and "deadlock"; they all run against
+	// one shared artifact session, so the implementation is explored and
+	// quotiented once regardless of how many are listed. Empty means the
+	// default pair: linearizability plus lock-freedom (lock-free
+	// algorithms) or deadlock-freedom (lock-based ones). The list is
+	// normalized (sorted, deduplicated) and enters the cache key.
+	Checks []string `json:"checks,omitempty"`
+}
+
+// Check names accepted in JobSpec.Checks.
+const (
+	CheckLinearizability = "linearizability"
+	CheckLockFree        = "lockfree"
+	CheckDeadlock        = "deadlock"
+)
+
+// UnknownCheckError reports JobSpec.Checks entries outside the supported
+// set; the service surfaces each bad name as a structured diagnostic.
+type UnknownCheckError struct {
+	// Names are the unrecognized entries, in spec order.
+	Names []string
+}
+
+// Error implements the error interface.
+func (e *UnknownCheckError) Error() string {
+	return fmt.Sprintf("api: unknown check name(s) %s (want %s, %s or %s)",
+		strings.Join(e.Names, ", "), CheckDeadlock, CheckLinearizability, CheckLockFree)
 }
 
 // modelFilename is the name model diagnostics are reported under.
@@ -112,11 +142,21 @@ type Diagnostic struct {
 	Msg  string `json:"msg"`
 }
 
-// Diagnostics extracts the positioned model diagnostics from an error
-// returned by Validate, resolve or Run, so the bbvd service can return
-// them structurally rather than as one opaque string. It returns nil for
-// errors that carry no model diagnostics.
+// Diagnostics extracts structured diagnostics from an error returned by
+// Validate, resolve or Run — positioned BBVL model diagnostics, or one
+// entry per unknown check name — so the bbvd service can return them
+// structurally rather than as one opaque string. It returns nil for
+// errors that carry no diagnostics.
 func Diagnostics(err error) []Diagnostic {
+	var badChecks *UnknownCheckError
+	if errors.As(err, &badChecks) {
+		out := make([]Diagnostic, 0, len(badChecks.Names))
+		for _, n := range badChecks.Names {
+			out = append(out, Diagnostic{File: "checks", Msg: fmt.Sprintf(
+				"unknown check %q (want %s, %s or %s)", n, CheckDeadlock, CheckLinearizability, CheckLockFree)})
+		}
+		return out
+	}
 	var list bbvl.ErrorList
 	if errors.As(err, &list) {
 		out := make([]Diagnostic, 0, len(list))
@@ -133,13 +173,19 @@ func Diagnostics(err error) []Diagnostic {
 }
 
 // Normalize fills defaulted fields in place so equal requests compare
-// equal: zero Threads/Ops become the conventional 2x2 instance.
+// equal: zero Threads/Ops become the conventional 2x2 instance, and the
+// Checks list is sorted and deduplicated (the checks share one artifact
+// session, so their order cannot influence the result).
 func (s *JobSpec) Normalize() {
 	if s.Threads == 0 {
 		s.Threads = 2
 	}
 	if s.Ops == 0 {
 		s.Ops = 2
+	}
+	if len(s.Checks) > 0 {
+		sort.Strings(s.Checks)
+		s.Checks = slices.Compact(s.Checks)
 	}
 }
 
@@ -158,6 +204,20 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.ModelSource != "" && s.Algorithm != "" {
 		return fmt.Errorf("api: algorithm and model_source are mutually exclusive")
+	}
+	if len(s.Checks) > 0 && s.Kind != KindCheck {
+		return fmt.Errorf("api: checks applies to kind %q only (got kind %q)", KindCheck, s.Kind)
+	}
+	var unknown []string
+	for _, c := range s.Checks {
+		switch c {
+		case CheckLinearizability, CheckLockFree, CheckDeadlock:
+		default:
+			unknown = append(unknown, c)
+		}
+	}
+	if len(unknown) > 0 {
+		return &UnknownCheckError{Names: unknown}
 	}
 	if _, err := s.resolve(); err != nil {
 		if s.ModelSource != "" {
@@ -202,6 +262,17 @@ func (s JobSpec) CacheKey() string {
 		b.WriteString("\x00model=")
 		b.WriteString(s.ModelSource)
 	}
+	// An explicit check list enters the key (it changes what the result
+	// contains); the empty default is not hashed, so pre-existing cache
+	// entries keep their key across the upgrade. The list is normalized
+	// locally in case the spec was not.
+	if len(s.Checks) > 0 {
+		checks := append([]string(nil), s.Checks...)
+		sort.Strings(checks)
+		checks = slices.Compact(checks)
+		b.WriteString("\x00checks=")
+		b.WriteString(strings.Join(checks, ","))
+	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }
@@ -238,10 +309,16 @@ func pathJSON(p *lts.Path) *PathJSON {
 	return out
 }
 
-// CheckResult is the "check" analysis: linearizability (Theorem 5.3)
-// plus lock-freedom (Theorem 5.9) for lock-free algorithms or
-// deadlock-freedom for the lock-based ones.
+// CheckResult is the "check" analysis: by default linearizability
+// (Theorem 5.3) plus lock-freedom (Theorem 5.9) for lock-free algorithms
+// or deadlock-freedom for the lock-based ones; an explicit
+// JobSpec.Checks list selects other combinations. ChecksRun records
+// which properties were actually verified — a verdict field for a check
+// that was not requested keeps its zero value and must be ignored.
 type CheckResult struct {
+	// ChecksRun lists the checks this result covers, in execution order.
+	ChecksRun []string `json:"checks_run"`
+
 	Linearizable bool `json:"linearizable"`
 	// LinCounterexample is a non-linearizable history; its last action is
 	// the one the specification cannot match.
@@ -281,14 +358,51 @@ type KTraceResult struct {
 	Eq1Neq2Label   string `json:"eq1_neq2_label,omitempty"`
 }
 
+// StageJSON is one pipeline stage's instrumentation in wire form; see
+// core.StageStat for the field semantics.
+type StageJSON struct {
+	Stage          string `json:"stage"`
+	Target         string `json:"target,omitempty"`
+	ElapsedUS      int64  `json:"elapsed_us"`
+	StatesIn       int    `json:"states_in,omitempty"`
+	TransitionsIn  int    `json:"transitions_in,omitempty"`
+	StatesOut      int    `json:"states_out,omitempty"`
+	TransitionsOut int    `json:"transitions_out,omitempty"`
+	Rounds         int    `json:"rounds,omitempty"`
+	Cached         bool   `json:"cached,omitempty"`
+}
+
+// StagesJSON converts core stage stats to wire form.
+func StagesJSON(stats []core.StageStat) []StageJSON {
+	out := make([]StageJSON, 0, len(stats))
+	for _, st := range stats {
+		out = append(out, StageJSON{
+			Stage:          st.Stage,
+			Target:         st.Target,
+			ElapsedUS:      st.Elapsed.Microseconds(),
+			StatesIn:       st.StatesIn,
+			TransitionsIn:  st.TransitionsIn,
+			StatesOut:      st.StatesOut,
+			TransitionsOut: st.TransitionsOut,
+			Rounds:         st.Rounds,
+			Cached:         st.Cached,
+		})
+	}
+	return out
+}
+
 // Result is the outcome of one job; exactly one of Check, Explore and
 // KTrace is set, matching Spec.Kind.
 type Result struct {
-	Spec      JobSpec        `json:"spec"`
-	Check     *CheckResult   `json:"check,omitempty"`
-	Explore   *ExploreResult `json:"explore,omitempty"`
-	KTrace    *KTraceResult  `json:"ktrace,omitempty"`
-	ElapsedMS int64          `json:"elapsed_ms"`
+	Spec    JobSpec        `json:"spec"`
+	Check   *CheckResult   `json:"check,omitempty"`
+	Explore *ExploreResult `json:"explore,omitempty"`
+	KTrace  *KTraceResult  `json:"ktrace,omitempty"`
+	// Stages instruments every pipeline stage the job ran, in execution
+	// order; stages served from the job's artifact session are marked
+	// cached.
+	Stages    []StageJSON `json:"stages,omitempty"`
+	ElapsedMS int64       `json:"elapsed_ms"`
 }
 
 // StatesExplored totals the raw state-space sizes the job generated, for
@@ -339,71 +453,90 @@ func runGuarded(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (r
 }
 
 func run(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (*Result, error) {
+	// One artifact session serves every stage of the job, so however many
+	// checks it combines, each program is explored and quotiented once.
+	sess := core.NewSession(spec.coreConfig())
 	res := &Result{Spec: spec}
 	var err error
 	switch spec.Kind {
 	case KindCheck:
-		res.Check, err = runCheck(ctx, alg, spec)
+		res.Check, err = runCheck(ctx, sess, alg, spec)
 	case KindExplore:
-		res.Explore, err = runExplore(ctx, alg, spec)
+		res.Explore, err = runExplore(ctx, sess, alg, spec)
 	case KindKTrace:
-		res.KTrace, err = runKTrace(ctx, alg, spec)
+		res.KTrace, err = runKTrace(ctx, sess, alg, spec)
 	}
 	if err != nil {
 		return nil, err
 	}
+	res.Stages = StagesJSON(sess.Stats())
 	return res, nil
 }
 
-func runCheck(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (*CheckResult, error) {
-	acfg := spec.algorithmConfig()
-	ccfg := spec.coreConfig()
-	lin, err := core.CheckLinearizabilityContext(ctx, alg.Build(acfg), alg.Spec(acfg), ccfg)
-	if err != nil {
-		return nil, err
-	}
-	out := &CheckResult{
-		Linearizable:       lin.Linearizable,
-		ImplStates:         lin.ImplStates,
-		SpecStates:         lin.SpecStates,
-		ImplQuotientStates: lin.ImplQuotientStates,
-		SpecQuotientStates: lin.SpecQuotient,
-		LockBased:          alg.LockBased,
-	}
-	if lin.Counterexample != nil {
-		out.LinCounterexample = lin.Counterexample.Trace
+// effectiveChecks is the check list a spec actually runs: the explicit
+// normalized list, or the legacy default pair.
+func effectiveChecks(spec JobSpec, alg *algorithms.Algorithm) []string {
+	if len(spec.Checks) > 0 {
+		return spec.Checks
 	}
 	if alg.LockBased {
-		dl, err := core.CheckDeadlockFreeContext(ctx, alg.Build(acfg), ccfg)
-		if err != nil {
-			return nil, err
+		return []string{CheckLinearizability, CheckDeadlock}
+	}
+	return []string{CheckLinearizability, CheckLockFree}
+}
+
+func runCheck(ctx context.Context, sess *core.Session, alg *algorithms.Algorithm, spec JobSpec) (*CheckResult, error) {
+	acfg := spec.algorithmConfig()
+	impl := alg.Build(acfg)
+	checks := effectiveChecks(spec, alg)
+	out := &CheckResult{ChecksRun: checks, LockBased: alg.LockBased}
+	for _, c := range checks {
+		switch c {
+		case CheckLinearizability:
+			lin, err := sess.CheckLinearizabilityContext(ctx, impl, alg.Spec(acfg))
+			if err != nil {
+				return nil, err
+			}
+			out.Linearizable = lin.Linearizable
+			out.ImplStates = lin.ImplStates
+			out.SpecStates = lin.SpecStates
+			out.ImplQuotientStates = lin.ImplQuotientStates
+			out.SpecQuotientStates = lin.SpecQuotient
+			if lin.Counterexample != nil {
+				out.LinCounterexample = lin.Counterexample.Trace
+			}
+		case CheckLockFree:
+			lf, err := sess.CheckLockFreeAutoContext(ctx, impl)
+			if err != nil {
+				return nil, err
+			}
+			out.LockFree = &lf.LockFree
+			out.LockFreeTheorem = lf.Theorem
+			out.Divergence = pathJSON(lf.Divergence)
+			out.ImplStates = lf.ImplStates
+		case CheckDeadlock:
+			dl, err := sess.CheckDeadlockFreeContext(ctx, impl)
+			if err != nil {
+				return nil, err
+			}
+			out.DeadlockFree = &dl.DeadlockFree
+			out.DeadlockWitness = pathJSON(dl.Witness)
+			out.ImplStates = dl.States
 		}
-		out.DeadlockFree = &dl.DeadlockFree
-		out.DeadlockWitness = pathJSON(dl.Witness)
-		return out, nil
 	}
-	lf, err := core.CheckLockFreeAutoContext(ctx, alg.Build(acfg), ccfg)
-	if err != nil {
-		return nil, err
-	}
-	out.LockFree = &lf.LockFree
-	out.LockFreeTheorem = lf.Theorem
-	out.Divergence = pathJSON(lf.Divergence)
 	return out, nil
 }
 
-func runExplore(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (*ExploreResult, error) {
-	l, info, err := machine.ExploreWithInfoContext(ctx, alg.Build(spec.algorithmConfig()), machine.Options{
-		Threads: spec.Threads, Ops: spec.Ops, MaxStates: spec.MaxStates, Workers: spec.Workers,
-	})
+func runExplore(ctx context.Context, sess *core.Session, alg *algorithms.Algorithm, spec JobSpec) (*ExploreResult, error) {
+	l, info, err := sess.ExploreWithInfoContext(ctx, alg.Build(spec.algorithmConfig()))
 	if err != nil {
 		return nil, err
 	}
-	q, _, err := bisim.ReduceBranchingContext(ctx, l)
+	q, err := sess.QuotientContext(ctx, l)
 	if err != nil {
 		return nil, err
 	}
-	_, divergent := lts.HasTauCycle(l)
+	divergent := sess.TauCyclic(l)
 	return &ExploreResult{
 		States:              l.NumStates(),
 		Transitions:         l.NumTransitions(),
@@ -419,19 +552,25 @@ func runExplore(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (*
 // ktrace default.
 const ktraceMaxK = 5
 
-func runKTrace(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (*KTraceResult, error) {
-	l, err := machine.ExploreContext(ctx, alg.Build(spec.algorithmConfig()), machine.Options{
-		Threads: spec.Threads, Ops: spec.Ops, MaxStates: spec.MaxStates, Workers: spec.Workers,
-	})
+func runKTrace(ctx context.Context, sess *core.Session, alg *algorithms.Algorithm, spec JobSpec) (*KTraceResult, error) {
+	l, err := sess.ExploreContext(ctx, alg.Build(spec.algorithmConfig()))
 	if err != nil {
 		return nil, err
 	}
-	q, _, err := bisim.ReduceBranchingContext(ctx, l)
+	q, err := sess.QuotientContext(ctx, l)
 	if err != nil {
 		return nil, err
 	}
+	ktStart := time.Now()
 	an := ktrace.Analyze(q, ktraceMaxK)
 	cls := ktrace.Classify(q, an)
+	sess.Record(core.StageStat{
+		Stage:         core.StageKTrace,
+		Target:        spec.Algorithm,
+		Elapsed:       time.Since(ktStart),
+		StatesIn:      q.NumStates(),
+		TransitionsIn: q.NumTransitions(),
+	})
 	out := &KTraceResult{
 		States:         l.NumStates(),
 		QuotientStates: q.NumStates(),

@@ -101,7 +101,7 @@ func branching(ctx context.Context, l *lts.LTS, divSensitive bool) (*Partition, 
 	for s := range blockOf {
 		blockOf[s] = cp.BlockOf[stateOf[s]]
 	}
-	return &Partition{BlockOf: blockOf, Num: cp.Num}, nil
+	return &Partition{BlockOf: blockOf, Num: cp.Num, Rounds: cp.Rounds}, nil
 }
 
 // branchingOnDAG runs signature refinement on a τ-acyclic LTS. The τ-SCC
@@ -122,7 +122,7 @@ func branchingOnDAG(ctx context.Context, l *lts.LTS, divergent []bool) (*Partiti
 	p := uniform(n)
 	table := newSigTable(n)
 	sigs := make([][]uint64, n)
-	for {
+	for rounds := 1; ; rounds++ {
 		if err := checkCtx(ctx, "branching refinement"); err != nil {
 			return nil, err
 		}
@@ -149,8 +149,9 @@ func branchingOnDAG(ctx context.Context, l *lts.LTS, divergent []bool) (*Partiti
 			sigs[s] = sig
 			next[s] = table.blockFor(sb, sig)
 		}
-		num := len(table.keys)
+		num := table.len()
 		if num == p.Num {
+			p.Rounds = rounds
 			return p, nil
 		}
 		p = &Partition{BlockOf: next, Num: num}

@@ -104,7 +104,7 @@ func Explain(a, b *lts.LTS, k Kind) (*Explanation, bool, error) {
 			}
 			return &Explanation{Kind: k, Round: round, LeftOnly: left, RightOnly: right}, true, nil
 		}
-		num := len(table.keys)
+		num := table.len()
 		if num == p.Num {
 			return nil, false, nil // bisimilar
 		}

@@ -18,9 +18,10 @@
 package bisim
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
-	"sort"
+	"slices"
 
 	"repro/internal/lts"
 )
@@ -31,6 +32,9 @@ type Partition struct {
 	BlockOf []int32
 	// Num is the number of blocks.
 	Num int
+	// Rounds is the number of refinement rounds the fixpoint took
+	// (including the final round that confirmed stability).
+	Rounds int
 }
 
 // SameBlock reports whether two states are equivalent under the partition.
@@ -43,14 +47,35 @@ func uniform(n int) *Partition {
 
 // sigTable groups states by (current block, signature) to form the next
 // partition. Signatures are encoded as sorted, deduplicated uint64 pairs
-// (action<<32 | targetBlock).
+// (action<<32 | targetBlock). Keys are interned in an FNV-hashed bucket
+// map whose byte buffers are recycled across refinement rounds, so a
+// refinement run allocates key storage only while the table is growing
+// past its high-water mark — not once per newly discovered block per
+// round, as a map[string]int32 rebuild would.
 type sigTable struct {
-	keys map[string]int32
-	buf  []byte
+	buckets map[uint64][]sigEntry
+	n       int32
+	buf     []byte
+	free    [][]byte // key buffers recycled by reset for reuse
+}
+
+type sigEntry struct {
+	key []byte
+	id  int32
 }
 
 func newSigTable(capacity int) *sigTable {
-	return &sigTable{keys: make(map[string]int32, capacity)}
+	return &sigTable{buckets: make(map[uint64][]sigEntry, capacity)}
+}
+
+// fnv64a hashes b with 64-bit FNV-1a.
+func fnv64a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // blockFor returns the next-round block ID for a state with the given
@@ -61,16 +86,37 @@ func (t *sigTable) blockFor(curBlock int32, sig []uint64) int32 {
 	for _, p := range sig {
 		t.buf = binary.LittleEndian.AppendUint64(t.buf, p)
 	}
-	if id, ok := t.keys[string(t.buf)]; ok {
-		return id
+	h := fnv64a(t.buf)
+	for _, e := range t.buckets[h] {
+		if bytes.Equal(e.key, t.buf) {
+			return e.id
+		}
 	}
-	id := int32(len(t.keys))
-	t.keys[string(t.buf)] = id
+	id := t.n
+	t.n++
+	var key []byte
+	if n := len(t.free); n > 0 {
+		key, t.free = append(t.free[n-1][:0], t.buf...), t.free[:n-1]
+	} else {
+		key = append([]byte(nil), t.buf...)
+	}
+	t.buckets[h] = append(t.buckets[h], sigEntry{key: key, id: id})
 	return id
 }
 
+// len is the number of distinct blocks interned since the last reset.
+func (t *sigTable) len() int { return int(t.n) }
+
+// reset empties the table for the next round, keeping bucket slices and
+// key buffers for reuse.
 func (t *sigTable) reset() {
-	clear(t.keys)
+	for h, bucket := range t.buckets {
+		for i := range bucket {
+			t.free = append(t.free, bucket[i].key)
+		}
+		t.buckets[h] = bucket[:0]
+	}
+	t.n = 0
 }
 
 func sigPair(a lts.ActionID, block int32) uint64 {
@@ -82,7 +128,7 @@ func sortDedup(sig []uint64) []uint64 {
 	if len(sig) < 2 {
 		return sig
 	}
-	sort.Slice(sig, func(i, j int) bool { return sig[i] < sig[j] })
+	slices.Sort(sig)
 	out := sig[:1]
 	for _, v := range sig[1:] {
 		if v != out[len(out)-1] {
@@ -106,7 +152,7 @@ func StrongContext(ctx context.Context, l *lts.LTS) (*Partition, error) {
 	p := uniform(n)
 	table := newSigTable(n)
 	var sig []uint64
-	for {
+	for rounds := 1; ; rounds++ {
 		if err := checkCtx(ctx, "strong refinement"); err != nil {
 			return nil, err
 		}
@@ -120,8 +166,9 @@ func StrongContext(ctx context.Context, l *lts.LTS) (*Partition, error) {
 			sig = sortDedup(sig)
 			next[s] = table.blockFor(p.BlockOf[s], sig)
 		}
-		num := len(table.keys)
+		num := table.len()
 		if num == p.Num {
+			p.Rounds = rounds
 			return p, nil
 		}
 		p = &Partition{BlockOf: next, Num: num}

@@ -78,7 +78,7 @@ func weak(ctx context.Context, l *lts.LTS, divSensitive bool) (*Partition, error
 		}
 		return dst
 	}
-	for {
+	for rounds := 1; ; rounds++ {
 		if err := checkCtx(ctx, "weak refinement"); err != nil {
 			return nil, err
 		}
@@ -104,8 +104,9 @@ func weak(ctx context.Context, l *lts.LTS, divSensitive bool) (*Partition, error
 			sig = sortDedup(sig)
 			next[s] = table.blockFor(p.BlockOf[s], sig)
 		}
-		num := len(table.keys)
+		num := table.len()
 		if num == p.Num {
+			p.Rounds = rounds
 			return p, nil
 		}
 		p = &Partition{BlockOf: next, Num: num}

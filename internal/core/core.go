@@ -24,10 +24,8 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"time"
 
-	"repro/internal/bisim"
 	"repro/internal/lts"
 	"repro/internal/machine"
 	"repro/internal/refine"
@@ -83,6 +81,10 @@ type LinearizabilityResult struct {
 	ImplQuotientStates, SpecQuotient int
 	// Elapsed is the total wall-clock verification time.
 	Elapsed time.Duration
+	// Stages instruments the pipeline stages that produced this result,
+	// in execution order; stages served from a Session's artifact store
+	// are marked Cached.
+	Stages []StageStat
 }
 
 // CheckLinearizability verifies impl against spec by Theorem 5.3: compute
@@ -96,38 +98,7 @@ func CheckLinearizability(impl, spec *machine.Program, cfg Config) (*Linearizabi
 // exploration and partition refinement poll ctx, so an abandoned or
 // timed-out check stops promptly with a typed cancellation error.
 func CheckLinearizabilityContext(ctx context.Context, impl, spec *machine.Program, cfg Config) (*LinearizabilityResult, error) {
-	start := time.Now()
-	acts := lts.NewAlphabet()
-	labels := lts.NewAlphabet()
-	implLTS, err := ExploreContext(ctx, impl, cfg, acts, labels)
-	if err != nil {
-		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
-	}
-	specLTS, err := ExploreContext(ctx, spec, cfg, acts, labels)
-	if err != nil {
-		return nil, fmt.Errorf("explore %s: %w", spec.Name, err)
-	}
-	implQ, _, err := bisim.ReduceBranchingContext(ctx, implLTS)
-	if err != nil {
-		return nil, err
-	}
-	specQ, _, err := bisim.ReduceBranchingContext(ctx, specLTS)
-	if err != nil {
-		return nil, err
-	}
-	res, err := refine.TraceInclusion(implQ, specQ)
-	if err != nil {
-		return nil, err
-	}
-	return &LinearizabilityResult{
-		Linearizable:       res.Included,
-		Counterexample:     res.Counterexample,
-		ImplStates:         implLTS.NumStates(),
-		SpecStates:         specLTS.NumStates(),
-		ImplQuotientStates: implQ.NumStates(),
-		SpecQuotient:       specQ.NumStates(),
-		Elapsed:            time.Since(start),
-	}, nil
+	return NewSession(cfg).CheckLinearizabilityContext(ctx, impl, spec)
 }
 
 // LockFreedomResult reports a Theorem 5.8 or 5.9 check.
@@ -147,6 +118,8 @@ type LockFreedomResult struct {
 	Bisimilar bool
 	// Elapsed is the total wall-clock verification time.
 	Elapsed time.Duration
+	// Stages instruments the pipeline stages that produced this result.
+	Stages []StageStat
 }
 
 // CheckLockFreeAuto verifies lock-freedom fully automatically by
@@ -159,43 +132,7 @@ func CheckLockFreeAuto(impl *machine.Program, cfg Config) (*LockFreedomResult, e
 
 // CheckLockFreeAutoContext is CheckLockFreeAuto with cancellation.
 func CheckLockFreeAutoContext(ctx context.Context, impl *machine.Program, cfg Config) (*LockFreedomResult, error) {
-	start := time.Now()
-	acts := lts.NewAlphabet()
-	labels := lts.NewAlphabet()
-	implLTS, err := ExploreContext(ctx, impl, cfg, acts, labels)
-	if err != nil {
-		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
-	}
-	quotient, _, err := bisim.ReduceBranchingContext(ctx, implLTS)
-	if err != nil {
-		return nil, err
-	}
-	if _, cyc := lts.HasTauCycle(quotient); cyc {
-		// Lemma 5.7 guarantees this cannot happen; failing loudly here
-		// protects against engine bugs.
-		return nil, fmt.Errorf("core: quotient of %s has a τ-cycle, violating Lemma 5.7", impl.Name)
-	}
-	eq, err := bisim.EquivalentContext(ctx, implLTS, quotient, bisim.KindDivBranching)
-	if err != nil {
-		return nil, err
-	}
-	res := &LockFreedomResult{
-		LockFree:       eq,
-		Theorem:        "5.9 (quotient)",
-		ImplStates:     implLTS.NumStates(),
-		AbstractStates: quotient.NumStates(),
-		Bisimilar:      eq,
-		Elapsed:        time.Since(start),
-	}
-	if !eq {
-		path, ok := lts.DivergencePath(implLTS)
-		if !ok {
-			return nil, fmt.Errorf("core: %s is not ≈div its quotient but no τ-cycle was found", impl.Name)
-		}
-		res.Divergence = path
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return NewSession(cfg).CheckLockFreeAutoContext(ctx, impl)
 }
 
 // CheckLockFreeAbstract verifies lock-freedom by Theorem 5.8: establish
@@ -209,45 +146,7 @@ func CheckLockFreeAbstract(impl, abs *machine.Program, cfg Config) (*LockFreedom
 
 // CheckLockFreeAbstractContext is CheckLockFreeAbstract with cancellation.
 func CheckLockFreeAbstractContext(ctx context.Context, impl, abs *machine.Program, cfg Config) (*LockFreedomResult, error) {
-	start := time.Now()
-	acts := lts.NewAlphabet()
-	labels := lts.NewAlphabet()
-	implLTS, err := ExploreContext(ctx, impl, cfg, acts, labels)
-	if err != nil {
-		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
-	}
-	absLTS, err := ExploreContext(ctx, abs, cfg, acts, labels)
-	if err != nil {
-		return nil, fmt.Errorf("explore %s: %w", abs.Name, err)
-	}
-	eq, err := bisim.EquivalentContext(ctx, implLTS, absLTS, bisim.KindDivBranching)
-	if err != nil {
-		return nil, err
-	}
-	res := &LockFreedomResult{
-		Theorem:        "5.8 (abstract)",
-		ImplStates:     implLTS.NumStates(),
-		AbstractStates: absLTS.NumStates(),
-		Bisimilar:      eq,
-	}
-	if !eq {
-		res.LockFree = false
-		if path, ok := lts.DivergencePath(implLTS); ok {
-			res.Divergence = path
-		}
-		res.Elapsed = time.Since(start)
-		return res, nil
-	}
-	// Theorem 5.8: impl is lock-free iff abs is. The abstract program is
-	// finite-state, so its lock-freedom is a τ-cycle check.
-	if path, ok := lts.DivergencePath(absLTS); ok {
-		res.LockFree = false
-		res.Divergence = path
-	} else {
-		res.LockFree = true
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return NewSession(cfg).CheckLockFreeAbstractContext(ctx, impl, abs)
 }
 
 // EquivalenceReport compares an object with its specification under both
@@ -257,6 +156,8 @@ type EquivalenceReport struct {
 	ImplQuotient, SpecQuotient     int
 	WeakBisimilar, BranchBisimilar bool
 	Elapsed                        time.Duration
+	// Stages instruments the pipeline stages that produced this report.
+	Stages []StageStat
 }
 
 // CompareWithSpec reproduces one row of Table VII: sizes of Δ, Δ/≈, Θsp,
@@ -267,44 +168,7 @@ func CompareWithSpec(impl, spec *machine.Program, cfg Config) (*EquivalenceRepor
 
 // CompareWithSpecContext is CompareWithSpec with cancellation.
 func CompareWithSpecContext(ctx context.Context, impl, spec *machine.Program, cfg Config) (*EquivalenceReport, error) {
-	start := time.Now()
-	acts := lts.NewAlphabet()
-	labels := lts.NewAlphabet()
-	implLTS, err := ExploreContext(ctx, impl, cfg, acts, labels)
-	if err != nil {
-		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
-	}
-	specLTS, err := ExploreContext(ctx, spec, cfg, acts, labels)
-	if err != nil {
-		return nil, fmt.Errorf("explore %s: %w", spec.Name, err)
-	}
-	implQ, _, err := bisim.ReduceBranchingContext(ctx, implLTS)
-	if err != nil {
-		return nil, err
-	}
-	specQ, _, err := bisim.ReduceBranchingContext(ctx, specLTS)
-	if err != nil {
-		return nil, err
-	}
-	// Δ ≈ Δ/≈ and ≈ refines ~w, so both equivalences can be decided on
-	// the far smaller quotients: Δ R Θsp iff Δ/≈ R Θsp/≈ for R ∈ {≈, ~w}.
-	weak, err := bisim.EquivalentContext(ctx, implQ, specQ, bisim.KindWeak)
-	if err != nil {
-		return nil, err
-	}
-	br, err := bisim.EquivalentContext(ctx, implQ, specQ, bisim.KindBranching)
-	if err != nil {
-		return nil, err
-	}
-	return &EquivalenceReport{
-		ImplStates:      implLTS.NumStates(),
-		SpecStates:      specLTS.NumStates(),
-		ImplQuotient:    implQ.NumStates(),
-		SpecQuotient:    specQ.NumStates(),
-		WeakBisimilar:   weak,
-		BranchBisimilar: br,
-		Elapsed:         time.Since(start),
-	}, nil
+	return NewSession(cfg).CompareWithSpecContext(ctx, impl, spec)
 }
 
 // DeadlockResult reports a deadlock-freedom check. Deadlock-freedom is a
@@ -322,6 +186,8 @@ type DeadlockResult struct {
 	States int
 	// Elapsed is the wall-clock check time.
 	Elapsed time.Duration
+	// Stages instruments the pipeline stages that produced this result.
+	Stages []StageStat
 }
 
 // CheckDeadlockFree explores the object and searches for reachable
@@ -332,21 +198,5 @@ func CheckDeadlockFree(impl *machine.Program, cfg Config) (*DeadlockResult, erro
 
 // CheckDeadlockFreeContext is CheckDeadlockFree with cancellation.
 func CheckDeadlockFreeContext(ctx context.Context, impl *machine.Program, cfg Config) (*DeadlockResult, error) {
-	start := time.Now()
-	l, info, err := machine.ExploreWithInfoContext(ctx, impl, cfg.options(nil, nil))
-	if err != nil {
-		return nil, fmt.Errorf("explore %s: %w", impl.Name, err)
-	}
-	res := &DeadlockResult{DeadlockFree: len(info.Deadlocks) == 0, States: l.NumStates()}
-	if !res.DeadlockFree {
-		dead := make(map[int32]bool, len(info.Deadlocks))
-		for _, s := range info.Deadlocks {
-			dead[s] = true
-		}
-		if path, ok := lts.ShortestPathTo(l, func(s int32) bool { return dead[s] }); ok {
-			res.Witness = path
-		}
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return NewSession(cfg).CheckDeadlockFreeContext(ctx, impl)
 }

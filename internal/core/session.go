@@ -1,0 +1,616 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bisim"
+	"repro/internal/lts"
+	"repro/internal/machine"
+	"repro/internal/refine"
+)
+
+// Session is a per-(program set, Config) artifact store for the
+// verification pipeline. It memoizes every expensive intermediate —
+// explored LTSs (with deadlock info), branching-bisimulation quotients,
+// τ-cycle analyses, equivalence decisions and trace-inclusion results —
+// so that any combination of checks run against the same program
+// instances explores and quotients each artifact exactly once. All
+// programs in a session share one action and one label alphabet, which
+// is what refine.TraceInclusion and bisim.Equivalent require anyway.
+//
+// Artifacts are keyed by identity: the same *machine.Program (and the
+// same *lts.LTS derived from it) must be passed for reuse to trigger.
+// Only successfully computed artifacts are stored, so a session remains
+// safe to use after a check was canceled mid-way: completed stages are
+// reused, the interrupted stage is recomputed on the next call.
+//
+// Session methods serialize on an internal mutex (shared alphabets are
+// not safe for concurrent interning); a session is nonetheless safe to
+// share between goroutines.
+type Session struct {
+	cfg    Config
+	acts   *lts.Alphabet
+	labels *lts.Alphabet
+
+	mu        sync.Mutex
+	stats     []StageStat
+	programs  map[*machine.Program]*exploredProgram
+	quotients map[*lts.LTS]*quotientArtifact
+	tauCycles map[*lts.LTS]*tauCycleArtifact
+	eqs       map[eqKey]*eqArtifact
+	incls     map[inclKey]*inclArtifact
+}
+
+type exploredProgram struct {
+	l    *lts.LTS
+	info *machine.Info
+	stat StageStat
+}
+
+type quotientArtifact struct {
+	q    *lts.LTS
+	p    *bisim.Partition
+	stat StageStat
+}
+
+type tauCycleArtifact struct {
+	cyclic bool
+	stat   StageStat
+}
+
+type eqKey struct {
+	a, b *lts.LTS
+	kind bisim.Kind
+}
+
+type eqArtifact struct {
+	eq   bool
+	stat StageStat
+}
+
+type inclKey struct{ impl, spec *lts.LTS }
+
+type inclArtifact struct {
+	res  *refine.Result
+	stat StageStat
+}
+
+// NewSession creates an empty session for the given configuration.
+func NewSession(cfg Config) *Session {
+	return &Session{
+		cfg:       cfg,
+		acts:      lts.NewAlphabet(),
+		labels:    lts.NewAlphabet(),
+		programs:  make(map[*machine.Program]*exploredProgram),
+		quotients: make(map[*lts.LTS]*quotientArtifact),
+		tauCycles: make(map[*lts.LTS]*tauCycleArtifact),
+		eqs:       make(map[eqKey]*eqArtifact),
+		incls:     make(map[inclKey]*inclArtifact),
+	}
+}
+
+// Config returns the configuration all artifacts of this session are
+// built under.
+func (s *Session) Config() Config { return s.cfg }
+
+// Stats returns a copy of the session's full stage log, in execution
+// order across all checks served so far.
+func (s *Session) Stats() []StageStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]StageStat(nil), s.stats...)
+}
+
+// Record appends an externally measured stage to the session log, for
+// pipeline steps that run outside the session (e.g. k-trace analysis).
+func (s *Session) Record(st StageStat) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = append(s.stats, st)
+}
+
+// recorder collects the stages of one check while mirroring them into
+// the session log. All its methods require s.mu to be held.
+type recorder struct {
+	s      *Session
+	stages []StageStat
+}
+
+func (r *recorder) add(st StageStat) {
+	r.stages = append(r.stages, st)
+	r.s.stats = append(r.s.stats, st)
+}
+
+// hit re-records a memoized stage as served from cache.
+func (r *recorder) hit(st StageStat) {
+	st.Cached = true
+	st.Elapsed = 0
+	r.add(st)
+}
+
+// targetOf names an LTS for stage stats: the owning program's name when
+// the LTS was explored by this session, the owning program's name with a
+// "/≈" suffix when it is a quotient built by this session, else "lts".
+func (s *Session) targetOf(l *lts.LTS) string {
+	for p, a := range s.programs {
+		if a.l == l {
+			return p.Name
+		}
+	}
+	for base, a := range s.quotients {
+		if a.q == l {
+			return s.targetOf(base) + "/≈"
+		}
+	}
+	return "lts"
+}
+
+// explore returns the memoized exploration of p, generating it on first
+// use. s.mu must be held.
+func (s *Session) explore(ctx context.Context, r *recorder, p *machine.Program) (*exploredProgram, error) {
+	if a, ok := s.programs[p]; ok {
+		r.hit(a.stat)
+		return a, nil
+	}
+	start := time.Now()
+	l, info, err := machine.ExploreWithInfoContext(ctx, p, s.cfg.options(s.acts, s.labels))
+	if err != nil {
+		return nil, fmt.Errorf("explore %s: %w", p.Name, err)
+	}
+	a := &exploredProgram{l: l, info: info, stat: StageStat{
+		Stage:          StageExplore,
+		Target:         p.Name,
+		Elapsed:        time.Since(start),
+		StatesOut:      l.NumStates(),
+		TransitionsOut: l.NumTransitions(),
+	}}
+	s.programs[p] = a
+	r.add(a.stat)
+	return a, nil
+}
+
+// quotient returns the memoized branching-bisimulation quotient of l.
+// s.mu must be held.
+func (s *Session) quotient(ctx context.Context, r *recorder, l *lts.LTS) (*quotientArtifact, error) {
+	if a, ok := s.quotients[l]; ok {
+		r.hit(a.stat)
+		return a, nil
+	}
+	start := time.Now()
+	q, p, err := bisim.ReduceBranchingContext(ctx, l)
+	if err != nil {
+		return nil, err
+	}
+	a := &quotientArtifact{q: q, p: p, stat: StageStat{
+		Stage:          StageQuotient,
+		Target:         s.targetOf(l),
+		Elapsed:        time.Since(start),
+		StatesIn:       l.NumStates(),
+		TransitionsIn:  l.NumTransitions(),
+		StatesOut:      q.NumStates(),
+		TransitionsOut: q.NumTransitions(),
+		Rounds:         p.Rounds,
+	}}
+	s.quotients[l] = a
+	r.add(a.stat)
+	return a, nil
+}
+
+// tauCyclic returns the memoized τ-cycle verdict for l. s.mu must be
+// held.
+func (s *Session) tauCyclic(r *recorder, l *lts.LTS) bool {
+	if a, ok := s.tauCycles[l]; ok {
+		r.hit(a.stat)
+		return a.cyclic
+	}
+	start := time.Now()
+	_, cyc := lts.HasTauCycle(l)
+	a := &tauCycleArtifact{cyclic: cyc, stat: StageStat{
+		Stage:         StageTauSCC,
+		Target:        s.targetOf(l),
+		Elapsed:       time.Since(start),
+		StatesIn:      l.NumStates(),
+		TransitionsIn: l.NumTransitions(),
+	}}
+	s.tauCycles[l] = a
+	r.add(a.stat)
+	return cyc
+}
+
+// partitionKind dispatches to the bisim partition algorithm for kind.
+func partitionKind(ctx context.Context, l *lts.LTS, kind bisim.Kind) (*bisim.Partition, error) {
+	switch kind {
+	case bisim.KindStrong:
+		return bisim.StrongContext(ctx, l)
+	case bisim.KindBranching:
+		return bisim.BranchingContext(ctx, l)
+	case bisim.KindDivBranching:
+		return bisim.DivergenceSensitiveBranchingContext(ctx, l)
+	case bisim.KindWeak:
+		return bisim.WeakContext(ctx, l)
+	case bisim.KindDivWeak:
+		return bisim.DivergenceSensitiveWeakContext(ctx, l)
+	default:
+		return nil, fmt.Errorf("core: unknown bisimulation kind %v", kind)
+	}
+}
+
+// kindTag is the compact notation for a bisimulation kind, used in
+// stage-stat targets.
+func kindTag(kind bisim.Kind) string {
+	switch kind {
+	case bisim.KindStrong:
+		return "~"
+	case bisim.KindBranching:
+		return "≈"
+	case bisim.KindDivBranching:
+		return "≈div"
+	case bisim.KindWeak:
+		return "~w"
+	case bisim.KindDivWeak:
+		return "~w-div"
+	default:
+		return kind.String()
+	}
+}
+
+// equivalent returns the memoized equivalence verdict for a and b under
+// kind (a symmetric relation, so both orientations hit the same entry).
+// s.mu must be held.
+func (s *Session) equivalent(ctx context.Context, r *recorder, a, b *lts.LTS, kind bisim.Kind) (bool, error) {
+	for _, key := range []eqKey{{a, b, kind}, {b, a, kind}} {
+		if art, ok := s.eqs[key]; ok {
+			r.hit(art.stat)
+			return art.eq, nil
+		}
+	}
+	start := time.Now()
+	u, initB, err := lts.DisjointUnion(a, b)
+	if err != nil {
+		return false, err
+	}
+	p, err := partitionKind(ctx, u, kind)
+	if err != nil {
+		return false, err
+	}
+	eq := p.BlockOf[u.Init] == p.BlockOf[initB]
+	art := &eqArtifact{eq: eq, stat: StageStat{
+		Stage:         StageEquivalence,
+		Target:        fmt.Sprintf("%s %s %s", s.targetOf(a), kindTag(kind), s.targetOf(b)),
+		Elapsed:       time.Since(start),
+		StatesIn:      u.NumStates(),
+		TransitionsIn: u.NumTransitions(),
+		StatesOut:     p.Num,
+		Rounds:        p.Rounds,
+	}}
+	s.eqs[eqKey{a, b, kind}] = art
+	r.add(art.stat)
+	return eq, nil
+}
+
+// traceInclusion returns the memoized trace-refinement result between
+// two quotients. s.mu must be held.
+func (s *Session) traceInclusion(r *recorder, implQ, specQ *lts.LTS) (*refine.Result, error) {
+	key := inclKey{implQ, specQ}
+	if art, ok := s.incls[key]; ok {
+		r.hit(art.stat)
+		return art.res, nil
+	}
+	start := time.Now()
+	res, err := refine.TraceInclusion(implQ, specQ)
+	if err != nil {
+		return nil, err
+	}
+	art := &inclArtifact{res: res, stat: StageStat{
+		Stage:         StageTraceInclusion,
+		Target:        fmt.Sprintf("%s ⊑tr %s", s.targetOf(implQ), s.targetOf(specQ)),
+		Elapsed:       time.Since(start),
+		StatesIn:      implQ.NumStates() + specQ.NumStates(),
+		TransitionsIn: implQ.NumTransitions() + specQ.NumTransitions(),
+		StatesOut:     res.PairsExplored,
+	}}
+	s.incls[key] = art
+	r.add(art.stat)
+	return res, nil
+}
+
+// Explore returns the session's LTS of p, generating and memoizing it on
+// first use. All programs of a session share its alphabets.
+func (s *Session) Explore(p *machine.Program) (*lts.LTS, error) {
+	return s.ExploreContext(context.Background(), p)
+}
+
+// ExploreContext is Explore with cancellation.
+func (s *Session) ExploreContext(ctx context.Context, p *machine.Program) (*lts.LTS, error) {
+	l, _, err := s.ExploreWithInfoContext(ctx, p)
+	return l, err
+}
+
+// ExploreWithInfoContext is ExploreContext plus deadlock information.
+func (s *Session) ExploreWithInfoContext(ctx context.Context, p *machine.Program) (*lts.LTS, *machine.Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.explore(ctx, &recorder{s: s}, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a.l, a.info, nil
+}
+
+// Quotient returns the memoized branching-bisimulation quotient of l
+// (typically an LTS previously returned by Explore).
+func (s *Session) Quotient(l *lts.LTS) (*lts.LTS, error) {
+	return s.QuotientContext(context.Background(), l)
+}
+
+// QuotientContext is Quotient with cancellation.
+func (s *Session) QuotientContext(ctx context.Context, l *lts.LTS) (*lts.LTS, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.quotient(ctx, &recorder{s: s}, l)
+	if err != nil {
+		return nil, err
+	}
+	return a.q, nil
+}
+
+// Equivalent reports whether a and b are bisimilar under kind, serving
+// repeated queries from the session's memo.
+func (s *Session) Equivalent(a, b *lts.LTS, kind bisim.Kind) (bool, error) {
+	return s.EquivalentContext(context.Background(), a, b, kind)
+}
+
+// EquivalentContext is Equivalent with cancellation.
+func (s *Session) EquivalentContext(ctx context.Context, a, b *lts.LTS, kind bisim.Kind) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.equivalent(ctx, &recorder{s: s}, a, b, kind)
+}
+
+// TraceInclusion decides quotient trace refinement implQ ⊑tr specQ,
+// serving repeated queries from the session's memo.
+func (s *Session) TraceInclusion(implQ, specQ *lts.LTS) (*refine.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traceInclusion(&recorder{s: s}, implQ, specQ)
+}
+
+// TauCyclic reports whether l has a reachable τ-cycle (can diverge),
+// serving repeated queries from the session's memo.
+func (s *Session) TauCyclic(l *lts.LTS) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tauCyclic(&recorder{s: s}, l)
+}
+
+// CheckLinearizability verifies impl against spec by Theorem 5.3 using
+// the session's artifacts; see core.CheckLinearizability.
+func (s *Session) CheckLinearizability(impl, spec *machine.Program) (*LinearizabilityResult, error) {
+	return s.CheckLinearizabilityContext(context.Background(), impl, spec)
+}
+
+// CheckLinearizabilityContext is CheckLinearizability with cancellation.
+func (s *Session) CheckLinearizabilityContext(ctx context.Context, impl, spec *machine.Program) (*LinearizabilityResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	r := &recorder{s: s}
+	ia, err := s.explore(ctx, r, impl)
+	if err != nil {
+		return nil, err
+	}
+	sa, err := s.explore(ctx, r, spec)
+	if err != nil {
+		return nil, err
+	}
+	iq, err := s.quotient(ctx, r, ia.l)
+	if err != nil {
+		return nil, err
+	}
+	sq, err := s.quotient(ctx, r, sa.l)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.traceInclusion(r, iq.q, sq.q)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearizabilityResult{
+		Linearizable:       res.Included,
+		Counterexample:     res.Counterexample,
+		ImplStates:         ia.l.NumStates(),
+		SpecStates:         sa.l.NumStates(),
+		ImplQuotientStates: iq.q.NumStates(),
+		SpecQuotient:       sq.q.NumStates(),
+		Elapsed:            time.Since(start),
+		Stages:             r.stages,
+	}, nil
+}
+
+// CheckLockFreeAuto verifies lock-freedom of impl by Theorem 5.9 using
+// the session's artifacts; see core.CheckLockFreeAuto.
+func (s *Session) CheckLockFreeAuto(impl *machine.Program) (*LockFreedomResult, error) {
+	return s.CheckLockFreeAutoContext(context.Background(), impl)
+}
+
+// CheckLockFreeAutoContext is CheckLockFreeAuto with cancellation.
+func (s *Session) CheckLockFreeAutoContext(ctx context.Context, impl *machine.Program) (*LockFreedomResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	r := &recorder{s: s}
+	ia, err := s.explore(ctx, r, impl)
+	if err != nil {
+		return nil, err
+	}
+	qa, err := s.quotient(ctx, r, ia.l)
+	if err != nil {
+		return nil, err
+	}
+	if s.tauCyclic(r, qa.q) {
+		// Lemma 5.7 guarantees this cannot happen; failing loudly here
+		// protects against engine bugs.
+		return nil, fmt.Errorf("core: quotient of %s has a τ-cycle, violating Lemma 5.7", impl.Name)
+	}
+	eq, err := s.equivalent(ctx, r, ia.l, qa.q, bisim.KindDivBranching)
+	if err != nil {
+		return nil, err
+	}
+	res := &LockFreedomResult{
+		LockFree:       eq,
+		Theorem:        "5.9 (quotient)",
+		ImplStates:     ia.l.NumStates(),
+		AbstractStates: qa.q.NumStates(),
+		Bisimilar:      eq,
+	}
+	if !eq {
+		path, ok := lts.DivergencePath(ia.l)
+		if !ok {
+			return nil, fmt.Errorf("core: %s is not ≈div its quotient but no τ-cycle was found", impl.Name)
+		}
+		res.Divergence = path
+	}
+	res.Elapsed = time.Since(start)
+	res.Stages = r.stages
+	return res, nil
+}
+
+// CheckLockFreeAbstract verifies lock-freedom of impl against the
+// hand-written abstraction abs by Theorem 5.8 using the session's
+// artifacts; see core.CheckLockFreeAbstract.
+func (s *Session) CheckLockFreeAbstract(impl, abs *machine.Program) (*LockFreedomResult, error) {
+	return s.CheckLockFreeAbstractContext(context.Background(), impl, abs)
+}
+
+// CheckLockFreeAbstractContext is CheckLockFreeAbstract with
+// cancellation.
+func (s *Session) CheckLockFreeAbstractContext(ctx context.Context, impl, abs *machine.Program) (*LockFreedomResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	r := &recorder{s: s}
+	ia, err := s.explore(ctx, r, impl)
+	if err != nil {
+		return nil, err
+	}
+	aa, err := s.explore(ctx, r, abs)
+	if err != nil {
+		return nil, err
+	}
+	eq, err := s.equivalent(ctx, r, ia.l, aa.l, bisim.KindDivBranching)
+	if err != nil {
+		return nil, err
+	}
+	res := &LockFreedomResult{
+		Theorem:        "5.8 (abstract)",
+		ImplStates:     ia.l.NumStates(),
+		AbstractStates: aa.l.NumStates(),
+		Bisimilar:      eq,
+	}
+	if !eq {
+		res.LockFree = false
+		if path, ok := lts.DivergencePath(ia.l); ok {
+			res.Divergence = path
+		}
+		res.Elapsed = time.Since(start)
+		res.Stages = r.stages
+		return res, nil
+	}
+	// Theorem 5.8: impl is lock-free iff abs is. The abstract program is
+	// finite-state, so its lock-freedom is a τ-cycle check.
+	if s.tauCyclic(r, aa.l) {
+		res.LockFree = false
+		if path, ok := lts.DivergencePath(aa.l); ok {
+			res.Divergence = path
+		}
+	} else {
+		res.LockFree = true
+	}
+	res.Elapsed = time.Since(start)
+	res.Stages = r.stages
+	return res, nil
+}
+
+// CompareWithSpec reproduces one row of Table VII using the session's
+// artifacts; see core.CompareWithSpec.
+func (s *Session) CompareWithSpec(impl, spec *machine.Program) (*EquivalenceReport, error) {
+	return s.CompareWithSpecContext(context.Background(), impl, spec)
+}
+
+// CompareWithSpecContext is CompareWithSpec with cancellation.
+func (s *Session) CompareWithSpecContext(ctx context.Context, impl, spec *machine.Program) (*EquivalenceReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	r := &recorder{s: s}
+	ia, err := s.explore(ctx, r, impl)
+	if err != nil {
+		return nil, err
+	}
+	sa, err := s.explore(ctx, r, spec)
+	if err != nil {
+		return nil, err
+	}
+	iq, err := s.quotient(ctx, r, ia.l)
+	if err != nil {
+		return nil, err
+	}
+	sq, err := s.quotient(ctx, r, sa.l)
+	if err != nil {
+		return nil, err
+	}
+	// Δ ≈ Δ/≈ and ≈ refines ~w, so both equivalences can be decided on
+	// the far smaller quotients: Δ R Θsp iff Δ/≈ R Θsp/≈ for R ∈ {≈, ~w}.
+	weak, err := s.equivalent(ctx, r, iq.q, sq.q, bisim.KindWeak)
+	if err != nil {
+		return nil, err
+	}
+	br, err := s.equivalent(ctx, r, iq.q, sq.q, bisim.KindBranching)
+	if err != nil {
+		return nil, err
+	}
+	return &EquivalenceReport{
+		ImplStates:      ia.l.NumStates(),
+		SpecStates:      sa.l.NumStates(),
+		ImplQuotient:    iq.q.NumStates(),
+		SpecQuotient:    sq.q.NumStates(),
+		WeakBisimilar:   weak,
+		BranchBisimilar: br,
+		Elapsed:         time.Since(start),
+		Stages:          r.stages,
+	}, nil
+}
+
+// CheckDeadlockFree searches impl for reachable deadlocks using the
+// session's artifacts; see core.CheckDeadlockFree.
+func (s *Session) CheckDeadlockFree(impl *machine.Program) (*DeadlockResult, error) {
+	return s.CheckDeadlockFreeContext(context.Background(), impl)
+}
+
+// CheckDeadlockFreeContext is CheckDeadlockFree with cancellation.
+func (s *Session) CheckDeadlockFreeContext(ctx context.Context, impl *machine.Program) (*DeadlockResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	r := &recorder{s: s}
+	ia, err := s.explore(ctx, r, impl)
+	if err != nil {
+		return nil, err
+	}
+	res := &DeadlockResult{DeadlockFree: len(ia.info.Deadlocks) == 0, States: ia.l.NumStates()}
+	if !res.DeadlockFree {
+		dead := make(map[int32]bool, len(ia.info.Deadlocks))
+		for _, d := range ia.info.Deadlocks {
+			dead[d] = true
+		}
+		if path, ok := lts.ShortestPathTo(ia.l, func(st int32) bool { return dead[st] }); ok {
+			res.Witness = path
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Stages = r.stages
+	return res, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/bisim"
+	"repro/internal/core"
 	"repro/internal/ktrace"
 	"repro/internal/lts"
 )
@@ -69,16 +70,18 @@ func Fig7(opt Options) (*Table, error) {
 	}
 	a := mustAlg("ms-queue")
 	cfg := algorithms.Config{Threads: 2, Ops: ops, Vals: oneVal}
-	acts := lts.NewAlphabet()
-	labels := lts.NewAlphabet()
-	l, wasCapped, err := explore(a.Build(cfg), 2, ops, opt, acts, labels)
-	if err != nil || wasCapped {
-		if wasCapped {
+	sess := core.NewSession(core.Config{Threads: 2, Ops: ops, MaxStates: opt.maxStates(), Workers: opt.Workers})
+	l, err := sess.Explore(a.Build(cfg))
+	if err != nil {
+		if isStateLimit(err) {
 			return nil, fmt.Errorf("fig7: instance exceeded the state budget")
 		}
 		return nil, fmt.Errorf("fig7: %w", err)
 	}
-	q := quotientOf(l)
+	q, err := sess.Quotient(l)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
 
 	// Histogram of the τ labels that survive quotienting, with the
 	// thread prefix stripped (t1.L28 -> L28).
@@ -105,12 +108,15 @@ func Fig7(opt Options) (*Table, error) {
 	}
 
 	// The spec comparison: not branching bisimilar (the non-fixed LP).
-	specLTS, _, err := explore(a.Spec(cfg), 2, ops, opt, acts, labels)
+	specLTS, err := sess.Explore(a.Spec(cfg))
 	if err != nil {
 		return nil, fmt.Errorf("fig7 spec: %w", err)
 	}
-	specQ := quotientOf(specLTS)
-	eq, err := bisim.Equivalent(q, specQ, bisim.KindBranching)
+	specQ, err := sess.Quotient(specLTS)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 spec: %w", err)
+	}
+	eq, err := sess.Equivalent(q, specQ, bisim.KindBranching)
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +131,7 @@ func Fig7(opt Options) (*Table, error) {
 	if path, ok := diagnosticL20L28(q); ok {
 		t.Note("Diagnostic interleaving (quotient path, Fig. 7 shape):\n%s", path.Format())
 	}
+	t.Stages = append(t.Stages, sess.Stats()...)
 	return t, nil
 }
 

@@ -9,6 +9,8 @@ package exhibits
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // Table is a rendered exhibit: a title, column headers and rows, plus
@@ -19,6 +21,11 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Stages accumulates the per-stage instrumentation of every
+	// verification session the exhibit ran (cache-served stages are
+	// marked Cached), for runtime accounting such as paper-tables
+	// -stages.
+	Stages []core.StageStat
 }
 
 // Add appends a row, stringifying each cell.

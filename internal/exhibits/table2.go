@@ -21,7 +21,12 @@ func Table2(opt Options) (*Table, error) {
 	ccfg := core.Config{Threads: threads, Ops: ops, MaxStates: opt.maxStates(), Workers: opt.Workers}
 	cfg := algorithms.Config{Threads: threads, Ops: ops}
 	for _, a := range algorithms.TableII() {
-		lin, err := core.CheckLinearizability(a.Build(cfg), a.Spec(cfg), ccfg)
+		// One artifact session per benchmark: the lock-freedom check
+		// reuses the object LTS and quotient the linearizability check
+		// already computed, halving the expensive exploration work.
+		sess := core.NewSession(ccfg)
+		impl := a.Build(cfg)
+		lin, err := sess.CheckLinearizability(impl, a.Spec(cfg))
 		if err != nil {
 			return nil, fmt.Errorf("table2 %s: %w", a.ID, err)
 		}
@@ -32,7 +37,7 @@ func Table2(opt Options) (*Table, error) {
 		lfCell := "-"
 		match := lin.Linearizable == a.ExpectLinearizable
 		if !a.LockBased {
-			lf, err := core.CheckLockFreeAuto(a.Build(cfg), ccfg)
+			lf, err := sess.CheckLockFreeAuto(impl)
 			if err != nil {
 				return nil, fmt.Errorf("table2 %s: %w", a.ID, err)
 			}
@@ -50,6 +55,7 @@ func Table2(opt Options) (*Table, error) {
 			t.Note("Known bug (row 9-1, HM list): non-linearizable history —\n%s", lin.Counterexample.Format())
 		}
 		t.Add(a.Display+" "+a.Ref, linCell, lfCell, mark(a.NonFixedLPs), mark(match))
+		t.Stages = append(t.Stages, sess.Stats()...)
 	}
 	return t, nil
 }

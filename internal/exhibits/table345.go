@@ -25,12 +25,14 @@ func lockFreeSweep(title string, alg *algorithms.Algorithm, rows []instance, val
 	for _, in := range rows {
 		cfg := algorithms.Config{Threads: in.threads, Ops: in.ops, Vals: vals}
 		start := time.Now()
-		res, err := core.CheckLockFreeAuto(alg.Build(cfg), core.Config{
+		sess := core.NewSession(core.Config{
 			Threads:   in.threads,
 			Ops:       in.ops,
 			MaxStates: opt.maxStates(),
 			Workers:   opt.Workers,
 		})
+		res, err := sess.CheckLockFreeAuto(alg.Build(cfg))
+		t.Stages = append(t.Stages, sess.Stats()...)
 		if err != nil {
 			if isStateLimit(err) {
 				t.Add(in.String(), capped, "-", "-", "-")

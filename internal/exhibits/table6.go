@@ -6,8 +6,8 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/bisim"
+	"repro/internal/core"
 	"repro/internal/lts"
-	"repro/internal/refine"
 )
 
 // Table6 reproduces Table VI: verifying linearizability and lock-freedom
@@ -16,6 +16,11 @@ import (
 // abstract object Δabs, the quotients, the Theorem 5.8 lock-freedom
 // check (object ≈div abstract object) and the Theorem 5.3 linearizability
 // check (quotient trace refinement), with times.
+//
+// A single artifact session per instance shares the alphabets across the
+// four explorations and serves every quotient and equivalence from the
+// memo, so each LTS is explored and reduced exactly once even though the
+// 5.8 and 5.3 columns both consume them.
 func Table6(opt Options) (*Table, error) {
 	t := &Table{
 		Title: "Table VI: verifying linearizability and lock-freedom of concurrent queues (values {1})",
@@ -32,29 +37,33 @@ func Table6(opt Options) (*Table, error) {
 	dglm := mustAlg("dglm-queue")
 	for _, in := range rows {
 		cfg := algorithms.Config{Threads: in.threads, Ops: in.ops, Vals: oneVal}
-		acts := lts.NewAlphabet()
-		labels := lts.NewAlphabet()
-		msLTS, msCap, err := explore(ms.Build(cfg), in.threads, in.ops, opt, acts, labels)
+		sess := core.NewSession(core.Config{
+			Threads:   in.threads,
+			Ops:       in.ops,
+			MaxStates: opt.maxStates(),
+			Workers:   opt.Workers,
+		})
+		msLTS, err := sess.Explore(ms.Build(cfg))
 		if err != nil {
+			if isStateLimit(err) {
+				t.Add(in.String(), capped, "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-")
+				continue
+			}
 			return nil, fmt.Errorf("table6 %s ms: %w", in, err)
 		}
-		if msCap {
-			t.Add(in.String(), capped, "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-")
-			continue
-		}
-		dglmLTS, dglmCap, err := explore(dglm.Build(cfg), in.threads, in.ops, opt, acts, labels)
-		if err != nil || dglmCap {
-			if dglmCap {
+		dglmLTS, err := sess.Explore(dglm.Build(cfg))
+		if err != nil {
+			if isStateLimit(err) {
 				t.Add(in.String(), msLTS.NumStates(), capped, "-", "-", "-", "-", "-", "-", "-", "-", "-", "-")
 				continue
 			}
 			return nil, fmt.Errorf("table6 %s dglm: %w", in, err)
 		}
-		specLTS, _, err := explore(ms.Spec(cfg), in.threads, in.ops, opt, acts, labels)
+		specLTS, err := sess.Explore(ms.Spec(cfg))
 		if err != nil {
 			return nil, fmt.Errorf("table6 %s spec: %w", in, err)
 		}
-		absLTS, _, err := explore(ms.Abstract(cfg), in.threads, in.ops, opt, acts, labels)
+		absLTS, err := sess.Explore(ms.Abstract(cfg))
 		if err != nil {
 			return nil, fmt.Errorf("table6 %s abs: %w", in, err)
 		}
@@ -63,11 +72,11 @@ func Table6(opt Options) (*Table, error) {
 		// lock-free (divergence-free), so both queues are.
 		t58 := func(obj *lts.LTS) (bool, time.Duration, error) {
 			start := time.Now()
-			eq, err := bisim.Equivalent(obj, absLTS, bisim.KindDivBranching)
+			eq, err := sess.Equivalent(obj, absLTS, bisim.KindDivBranching)
 			if err != nil {
 				return false, 0, err
 			}
-			if _, cyc := lts.HasTauCycle(absLTS); cyc {
+			if sess.TauCyclic(absLTS) {
 				return false, time.Since(start), nil
 			}
 			return eq, time.Since(start), nil
@@ -82,11 +91,17 @@ func Table6(opt Options) (*Table, error) {
 		}
 
 		// Theorem 5.3: quotient trace refinement against the spec quotient.
-		specQ := quotientOf(specLTS)
+		specQ, err := sess.Quotient(specLTS)
+		if err != nil {
+			return nil, fmt.Errorf("table6 %s spec quotient: %w", in, err)
+		}
 		t53 := func(obj *lts.LTS) (bool, *lts.LTS, time.Duration, error) {
 			start := time.Now()
-			q := quotientOf(obj)
-			res, err := refine.TraceInclusion(q, specQ)
+			q, err := sess.Quotient(obj)
+			if err != nil {
+				return false, nil, 0, err
+			}
+			res, err := sess.TraceInclusion(q, specQ)
 			if err != nil {
 				return false, nil, 0, err
 			}
@@ -109,6 +124,7 @@ func Table6(opt Options) (*Table, error) {
 			secs(msLFTime), secs(dglmLFTime), lfCell,
 			secs(msLinTime), secs(dglmLinTime), linCell,
 		)
+		t.Stages = append(t.Stages, sess.Stats()...)
 	}
 	t.Note("Q/~ is the shared branching-bisimulation quotient of the MS and DGLM queues (they coincide, as in the paper).")
 	t.Note("Thm 5.8 column: both queues are divergence-sensitive branching bisimilar to the (lock-free) abstract queue of Fig. 8.")

@@ -50,18 +50,20 @@ func Table7(opt Options) (*Table, error) {
 				vals = oneVal
 			}
 			cfg := algorithms.Config{Threads: in.threads, Ops: in.ops, Vals: vals}
-			rep, err := core.CompareWithSpec(a.Build(cfg), a.Spec(cfg), core.Config{
+			sess := core.NewSession(core.Config{
 				Threads:   in.threads,
 				Ops:       in.ops,
 				MaxStates: opt.maxStates(),
 				Workers:   opt.Workers,
 			})
+			rep, err := sess.CompareWithSpec(a.Build(cfg), a.Spec(cfg))
 			if err != nil {
 				if isStateLimit(err) {
 					continue
 				}
 				return nil, fmt.Errorf("table7 %s %s: %w", r.id, in, err)
 			}
+			t.Stages = append(t.Stages, sess.Stats()...)
 			t.Add(in.String(), a.Display, rep.ImplStates, rep.ImplQuotient,
 				rep.SpecStates, rep.SpecQuotient, rep.WeakBisimilar, rep.BranchBisimilar)
 			done = true

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"unsafe"
 
 	"repro/internal/lts"
@@ -49,6 +50,25 @@ func canceled(ctx context.Context, prog string) error {
 // cancelCheckMask throttles context polling in exploration hot loops: the
 // context is consulted once every cancelCheckMask+1 states.
 const cancelCheckMask = 1023
+
+// exploreObserver, when set, is called at the start of every exploration
+// (sequential or parallel) with the program being explored. It exists so
+// tests can prove how often the expensive generation stage actually runs
+// — e.g. that a core.Session explores each distinct program exactly once.
+var exploreObserver atomic.Pointer[func(p *Program)]
+
+// SetExploreObserver installs fn as the exploration observer and returns
+// a function restoring the previous one. Intended for tests only; fn must
+// be safe for concurrent calls.
+func SetExploreObserver(fn func(p *Program)) (restore func()) {
+	var prev *func(p *Program)
+	if fn == nil {
+		prev = exploreObserver.Swap(nil)
+	} else {
+		prev = exploreObserver.Swap(&fn)
+	}
+	return func() { exploreObserver.Store(prev) }
+}
 
 // Options configures state-space generation.
 type Options struct {
@@ -113,6 +133,9 @@ func ExploreWithInfo(p *Program, opt Options) (*lts.LTS, *Info, error) {
 func ExploreWithInfoContext(ctx context.Context, p *Program, opt Options) (*lts.LTS, *Info, error) {
 	if err := validateOptions(p, opt); err != nil {
 		return nil, nil, err
+	}
+	if obs := exploreObserver.Load(); obs != nil {
+		(*obs)(p)
 	}
 	limit := opt.MaxStates
 	if limit <= 0 {

@@ -355,6 +355,7 @@ func (s *Server) runJob(j *job) {
 		s.cache.put(j.key, res)
 		s.metrics.JobsDoneTotal.Add(1)
 		s.metrics.StatesExploredTotal.Add(res.StatesExplored())
+		s.metrics.RecordStages(res.Stages)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
 		errors.Is(err, errClientCanceled) || errors.Is(err, ErrShutdown):
 		// The typed cancellation errors unwrap to the cancel *cause*,
