@@ -8,6 +8,12 @@
 //	bbverify explore [-threads N] [-ops N] [-quotient] [-dot F] [-aut F] <algorithm>
 //	bbverify ktrace  [-threads N] [-ops N] <algorithm>
 //	bbverify compile <file.bbvl>
+//	bbverify vet     [-json] [-Werror] [-list] <file.bbvl ...> | -alg id | -all
+//
+// vet runs the pre-exploration static-analysis pass (internal/vet) on
+// its own: findings print one per line at file:line:col, error-severity
+// findings (and, under -Werror, warnings) make the command fail. check
+// runs the same pass automatically before verifying.
 //
 // check runs both verification methods: linearizability by quotient
 // trace refinement (Theorem 5.3) and lock-freedom by divergence-sensitive
@@ -74,11 +80,13 @@ func run(args []string) error {
 		return sweepCmd(args[1:])
 	case "compile":
 		return compileCmd(args[1:])
+	case "vet":
+		return vetCmd(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (try: list, check, explore, ktrace, compare, ltl, sweep, compile)", args[0])
+		return fmt.Errorf("unknown subcommand %q (try: list, check, explore, ktrace, compare, ltl, sweep, compile, vet)", args[0])
 	}
 }
 
@@ -100,6 +108,13 @@ subcommands:
   sweep   [flags] <algorithm>  sweep the operation bound (Table III / Fig. 10
                                style): sizes, quotients, reduction, verdicts
   compile <file.bbvl>          print the compiled machine-level form of a model
+  vet     [flags] <file.bbvl>  run the pre-exploration static-analysis pass
+                               (unreachable code, dead guards, unused variables,
+                               value overflow, spec shape, tau cycles) without
+                               exploring anything; -alg id / -all vet registry
+                               algorithms, -list prints the analyzer catalogue,
+                               -Werror exits non-zero on warnings, -json emits
+                               machine-readable findings
 
 common flags: -threads N (default 2), -ops N (default 2), -vals 1,2, -max-states N,
               -workers N (exploration workers; 0 = all cores, 1 = sequential —
@@ -183,19 +198,29 @@ func (c *commonFlags) resolve() (*algorithms.Algorithm, algorithms.Config, core.
 			return nil, algorithms.Config{}, core.Config{}, err
 		}
 	}
-	var vals []int32
-	if *c.vals != "" {
-		for _, part := range strings.Split(*c.vals, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				return nil, algorithms.Config{}, core.Config{}, fmt.Errorf("bad -vals: %w", err)
-			}
-			vals = append(vals, int32(v))
-		}
+	vals, err := parseVals(*c.vals)
+	if err != nil {
+		return nil, algorithms.Config{}, core.Config{}, err
 	}
 	acfg := algorithms.Config{Threads: *c.threads, Ops: *c.ops, Vals: vals}
 	ccfg := core.Config{Threads: *c.threads, Ops: *c.ops, MaxStates: *c.maxStates, Workers: *c.workers}
 	return alg, acfg, ccfg, nil
+}
+
+// parseVals parses a comma-separated -vals flag.
+func parseVals(s string) ([]int32, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var vals []int32
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -vals: %w", err)
+		}
+		vals = append(vals, int32(v))
+	}
+	return vals, nil
 }
 
 func check(args []string) error {
@@ -223,29 +248,47 @@ func check(args []string) error {
 			checks = append(checks, strings.TrimSpace(c))
 		}
 	}
+	spec := api.JobSpec{
+		Kind:      api.KindCheck,
+		Threads:   ccfg.Threads,
+		Ops:       ccfg.Ops,
+		MaxStates: ccfg.MaxStates,
+		Workers:   ccfg.Workers,
+		Vals:      acfg.Vals,
+		Checks:    checks,
+	}
+	if *cf.model != "" {
+		spec.ModelSource = string(cf.modelSrc)
+		spec.ModelName = *cf.model
+	} else {
+		spec.Algorithm = alg.ID
+	}
+
+	// The vet pass gates verification the same way the bbvd daemon does:
+	// error findings abort before exploration, warnings ride along.
+	warnings, err := api.VetSpec(spec)
+	if err != nil {
+		var ve *api.VetError
+		if errors.As(err, &ve) {
+			for _, f := range ve.Findings {
+				fmt.Fprintln(os.Stderr, f.String())
+			}
+		}
+		return err
+	}
+
 	if *jsonOut {
-		spec := api.JobSpec{
-			Kind:      api.KindCheck,
-			Threads:   ccfg.Threads,
-			Ops:       ccfg.Ops,
-			MaxStates: ccfg.MaxStates,
-			Workers:   ccfg.Workers,
-			Vals:      acfg.Vals,
-			Checks:    checks,
-		}
-		if *cf.model != "" {
-			spec.ModelSource = string(cf.modelSrc)
-			spec.ModelName = *cf.model
-		} else {
-			spec.Algorithm = alg.ID
-		}
 		res, err := api.Run(context.Background(), spec)
 		if err != nil {
 			return err
 		}
+		res.Warnings = warnings
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
+	}
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, w.String())
 	}
 	fmt.Printf("== %s (%d threads x %d ops) ==\n", alg.Display, ccfg.Threads, ccfg.Ops)
 
@@ -570,10 +613,21 @@ func runSpecFile(path string) error {
 	if err != nil {
 		return err
 	}
+	warnings, err := api.VetSpec(spec)
+	if err != nil {
+		var ve *api.VetError
+		if errors.As(err, &ve) {
+			for _, f := range ve.Findings {
+				fmt.Fprintln(os.Stderr, f.String())
+			}
+		}
+		return err
+	}
 	res, err := api.Run(context.Background(), spec)
 	if err != nil {
 		return err
 	}
+	res.Warnings = warnings
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(res)
@@ -595,6 +649,110 @@ func compileCmd(args []string) error {
 		return err
 	}
 	fmt.Print(m.Dump())
+	return nil
+}
+
+// vetCmd runs the pre-exploration static-analysis pass on its own:
+// over BBVL model files (positional arguments) or registry algorithms
+// (-alg id, -all), without exploring any state space. Findings print
+// one per line in file:line:col form; the command fails when any
+// finding has error severity, or on any finding at all under -Werror.
+func vetCmd(args []string) error {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	werror := fs.Bool("Werror", false, "treat warnings as errors (non-zero exit on any finding)")
+	listOnly := fs.Bool("list", false, "print the analyzer catalogue and exit")
+	threads := fs.Int("threads", 2, "number of client threads the analysis assumes")
+	ops := fs.Int("ops", 2, "operations per thread the analysis assumes")
+	valsFlag := fs.String("vals", "", "comma-separated value universe (default algorithm-specific)")
+	algID := fs.String("alg", "", "vet a registry algorithm instead of model files")
+	all := fs.Bool("all", false, "vet every registry algorithm")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listOnly {
+		infos := api.ListAnalyzers()
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(infos)
+		}
+		for _, in := range infos {
+			fmt.Printf("%-12s %-8s %s\n", in.ID, in.Severity, in.Description)
+		}
+		return nil
+	}
+	vals, err := parseVals(*valsFlag)
+	if err != nil {
+		return err
+	}
+
+	var specs []api.JobSpec
+	base := api.JobSpec{Kind: api.KindCheck, Threads: *threads, Ops: *ops, Vals: vals}
+	switch {
+	case *all:
+		if *algID != "" || fs.NArg() != 0 {
+			return fmt.Errorf("-all vets the whole registry; drop the other targets")
+		}
+		for _, a := range algorithms.All() {
+			s := base
+			s.Algorithm = a.ID
+			specs = append(specs, s)
+		}
+	case *algID != "":
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-alg replaces the model file arguments; drop %q", fs.Arg(0))
+		}
+		s := base
+		s.Algorithm = *algID
+		specs = append(specs, s)
+	default:
+		if fs.NArg() == 0 {
+			return fmt.Errorf("expected model files to vet (bbverify vet file.bbvl...), -alg id, or -all")
+		}
+		for _, path := range fs.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			s := base
+			s.ModelSource = string(src)
+			s.ModelName = path
+			specs = append(specs, s)
+		}
+	}
+
+	var findings []api.VetFinding
+	hasErrors := false
+	for _, spec := range specs {
+		fs, err := api.VetSpec(spec)
+		if err != nil {
+			var ve *api.VetError
+			if !errors.As(err, &ve) {
+				return err // the program does not even load: parse/type error
+			}
+			hasErrors = true
+		}
+		findings = append(findings, fs...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	switch {
+	case hasErrors:
+		return fmt.Errorf("vet failed")
+	case *werror && len(findings) > 0:
+		return fmt.Errorf("vet found warnings (-Werror)")
+	}
 	return nil
 }
 

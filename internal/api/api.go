@@ -109,13 +109,22 @@ func (s JobSpec) modelFilename() string {
 // compiled form of the submitted model source.
 func (s JobSpec) resolve() (*algorithms.Algorithm, error) {
 	if s.ModelSource != "" {
-		m, err := bbvl.Load(s.modelFilename(), []byte(s.ModelSource))
+		m, err := s.resolveModel()
 		if err != nil {
-			return nil, fmt.Errorf("api: invalid model: %w", err)
+			return nil, err
 		}
 		return m.Algorithm(), nil
 	}
 	return algorithms.ByID(s.Algorithm)
+}
+
+// resolveModel loads and checks the job's inline model source.
+func (s JobSpec) resolveModel() (*bbvl.Model, error) {
+	m, err := bbvl.Load(s.modelFilename(), []byte(s.ModelSource))
+	if err != nil {
+		return nil, fmt.Errorf("api: invalid model: %w", err)
+	}
+	return m, nil
 }
 
 // DecodeJobSpec reads one JobSpec from JSON, rejecting unknown fields
@@ -148,6 +157,15 @@ type Diagnostic struct {
 // structurally rather than as one opaque string. It returns nil for
 // errors that carry no diagnostics.
 func Diagnostics(err error) []Diagnostic {
+	var vetErr *VetError
+	if errors.As(err, &vetErr) {
+		out := make([]Diagnostic, 0, len(vetErr.Findings))
+		for _, f := range vetErr.Findings {
+			out = append(out, Diagnostic{File: f.File, Line: f.Line, Col: f.Col,
+				Msg: fmt.Sprintf("%s: %s [%s]", f.Severity, f.Msg, f.Analyzer)})
+		}
+		return out
+	}
 	var badChecks *UnknownCheckError
 	if errors.As(err, &badChecks) {
 		out := make([]Diagnostic, 0, len(badChecks.Names))
@@ -403,6 +421,11 @@ type Result struct {
 	// cached.
 	Stages    []StageJSON `json:"stages,omitempty"`
 	ElapsedMS int64       `json:"elapsed_ms"`
+	// Warnings carries the vet pass's advisory findings for the job's
+	// program (see VetSpec); absent when the pass is clean, so
+	// warning-free results serialize exactly as they did before the
+	// field existed.
+	Warnings []VetFinding `json:"warnings,omitempty"`
 }
 
 // StatesExplored totals the raw state-space sizes the job generated, for

@@ -4,91 +4,14 @@ import (
 	"repro/internal/machine"
 )
 
-// fieldAcc selects one field of machine.Node. The compiler assigns a
-// model's named fields to concrete Node fields by class and declaration
+// The checker lowers BBVL statements into the machine package's
+// micro-instruction form (machine.Instr); see internal/machine/ir.go for
+// the IR definition and interpreter. The compiler assigns a model's
+// named fields to concrete machine.Node fields by class and declaration
 // order: val fields to Val, Key, C, D; ptr fields to Next, A, B; at most
 // one mark field to Mark.
-type fieldAcc uint8
-
-const (
-	fVal fieldAcc = iota
-	fKey
-	fC
-	fD
-	fNext
-	fA
-	fB
-	fMark
-)
-
-var fieldAccNames = [...]string{"Val", "Key", "C", "D", "Next", "A", "B", "Mark"}
-
-var valFieldSlots = [...]fieldAcc{fVal, fKey, fC, fD}
-var ptrFieldSlots = [...]fieldAcc{fNext, fA, fB}
-
-// locKind classifies a storage location.
-type locKind uint8
-
-const (
-	locGlobal locKind = iota
-	locLocal
-	locField
-)
-
-// rLoc is a resolved storage location: a global, a local register, or a
-// node field reached through a global or local pointer variable.
-type rLoc struct {
-	kind       locKind
-	idx        int // global or local index; for locField, the base variable
-	baseGlobal bool
-	field      fieldAcc
-	pos        Pos
-	name       string // source spelling, for runtime panics and the dump
-}
-
-// rOpKind classifies a resolved operand.
-type rOpKind uint8
-
-const (
-	oLit rOpKind = iota
-	oArg
-	oSelf
-	oLoc
-)
-
-// rOperand is a resolved operand.
-type rOperand struct {
-	kind rOpKind
-	lit  int32
-	loc  rLoc
-}
-
-// rOp enumerates the compiled micro-operations.
-type rOp uint8
-
-const (
-	opAssign rOp = iota
-	opAlloc
-	opFree
-	opCas
-	opGoto
-	opReturn
-	opIfCmp
-	opIfCas
-)
-
-// rInstr is one compiled micro-instruction. The interpreter in
-// compile.go executes a []rInstr per atomic statement.
-type rInstr struct {
-	op        rOp
-	lhs       rLoc     // opAssign/opAlloc destination; opFree/opCas target
-	a, b      rOperand // opAssign RHS / return value / cas exp / cmp X; b: cas new / cmp Y
-	negate    bool     // opIfCmp: condition is "!="
-	target    int      // opGoto: statement index
-	allocKind int32
-	then, els []rInstr
-	pos       Pos
-}
+var valFieldSlots = [...]machine.FieldSel{machine.FieldVal, machine.FieldKey, machine.FieldC, machine.FieldD}
+var ptrFieldSlots = [...]machine.FieldSel{machine.FieldNext, machine.FieldA, machine.FieldB}
 
 // rMethod is one compiled method template.
 type rMethod struct {
@@ -96,25 +19,29 @@ type rMethod struct {
 	argVals bool
 	argSet  []int32
 	stmts   []rStmt
+	pos     Pos
 }
 
 type rStmt struct {
 	label string
-	body  []rInstr
+	body  []machine.Instr
+	pos   Pos
 }
 
 // rProgram is a compiled program template, instantiated per
 // algorithms.Config by compile.go.
 type rProgram struct {
 	name         string
+	source       string
 	globalNames  []string
 	globalKinds  []machine.VarKind
+	globalPos    []machine.Pos
 	nlocals      int
 	localKinds   []machine.VarKind
 	heapTotalOps bool
 	heapExtra    int
 	methods      []rMethod
-	init         []rInstr
+	init         []machine.Instr
 }
 
 // Model is a checked and compiled BBVL model, ready to instantiate
@@ -163,7 +90,7 @@ var specShapes = map[string][]struct {
 
 // fieldInfo is a resolved node field.
 type fieldInfo struct {
-	acc   fieldAcc
+	acc   machine.FieldSel
 	class string
 	node  string
 }
@@ -181,7 +108,8 @@ type checker struct {
 }
 
 // Check resolves, typechecks and compiles a parsed model. On failure it
-// returns an ErrorList with every positioned diagnostic.
+// returns an ErrorList with every positioned diagnostic, sorted by
+// source position so the output is deterministic.
 func Check(f *File) (*Model, error) {
 	c := &checker{
 		file:      f,
@@ -210,6 +138,7 @@ func Check(f *File) (*Model, error) {
 	if f.Spec != nil {
 		c.checkSpecShape(f.Spec, f.Methods)
 	}
+	c.errs.Sort()
 	if err := c.errs.toError(); err != nil {
 		return nil, err
 	}
@@ -254,7 +183,7 @@ func (c *checker) checkNodes() {
 			seen[fd.Name] = fd.Pos
 			i := counts[fd.Class]
 			counts[fd.Class]++
-			var acc fieldAcc
+			var acc machine.FieldSel
 			switch fd.Class {
 			case "val":
 				if i >= len(valFieldSlots) {
@@ -273,7 +202,7 @@ func (c *checker) checkNodes() {
 					c.errs.errorf(fd.Pos, "field index out of range: node %s declares more than one mark field", n.Name)
 					continue
 				}
-				acc = fMark
+				acc = machine.FieldMark
 			}
 			// Field names are resolved without knowing the node kind a
 			// pointer refers to, so a name shared between node kinds must
@@ -281,7 +210,7 @@ func (c *checker) checkNodes() {
 			if prev, ok := c.fields[fd.Name]; ok {
 				if prev.acc != acc {
 					c.errs.errorf(fd.Pos, "field %s maps to machine.Node.%s here but to machine.Node.%s in node %s; field names must resolve uniquely across node kinds",
-						fd.Name, fieldAccNames[acc], fieldAccNames[prev.acc], prev.node)
+						fd.Name, acc, prev.acc, prev.node)
 				}
 				continue
 			}
@@ -320,9 +249,10 @@ type methodScope struct {
 // abstract program) into a compiled template. Abstract methods are
 // exempt from the one-shared-access-per-statement discipline.
 func (c *checker) checkProgram(name string, methods []*MethodDecl, exempt bool) *rProgram {
-	p := &rProgram{name: name}
+	p := &rProgram{name: name, source: c.file.Pos.File}
 	p.globalNames = make([]string, len(c.globalKind))
 	p.globalKinds = make([]machine.VarKind, len(c.globalKind))
+	p.globalPos = make([]machine.Pos, len(c.globalKind))
 	for _, g := range c.file.Globals {
 		i, ok := c.globalIdx[g.Name]
 		if !ok {
@@ -330,6 +260,7 @@ func (c *checker) checkProgram(name string, methods []*MethodDecl, exempt bool) 
 		}
 		p.globalNames[i] = g.Name
 		p.globalKinds[i] = kindOf(g.Kind)
+		p.globalPos[i] = g.Pos
 	}
 	heap := c.file.Heap
 	if heap == nil {
@@ -468,7 +399,7 @@ func (sc *methodScope) computeFresh() {
 
 func (sc *methodScope) resolveMethod() rMethod {
 	m := sc.method
-	rm := rMethod{name: m.Name, argVals: m.ArgVals, argSet: m.ArgSet}
+	rm := rMethod{name: m.Name, argVals: m.ArgVals, argSet: m.ArgSet, pos: m.Pos}
 	for _, s := range m.Stmts {
 		body, _ := sc.resolveSeq(s.Body)
 		acc := &accessCount{}
@@ -478,31 +409,31 @@ func (sc *methodScope) resolveMethod() rMethod {
 		if !sc.seqTerminates(body) {
 			sc.c.errs.errorf(s.Pos, "statement %s can fall off the end: every execution path must finish with goto or return", s.Label)
 		}
-		rm.stmts = append(rm.stmts, rStmt{label: s.Label, body: body})
+		rm.stmts = append(rm.stmts, rStmt{label: s.Label, body: body, pos: s.Pos})
 	}
 	return rm
 }
 
 // seqTerminates reports whether every path through seq ends in goto or
 // return, and flags unreachable instructions after a terminator.
-func (sc *methodScope) seqTerminates(seq []rInstr) bool {
+func (sc *methodScope) seqTerminates(seq []machine.Instr) bool {
 	for i := range seq {
 		in := &seq[i]
 		var term bool
-		switch in.op {
-		case opGoto, opReturn:
+		switch in.Op {
+		case machine.IRGoto, machine.IRReturn:
 			term = true
-		case opIfCmp, opIfCas:
-			term = len(in.els) > 0 && sc.seqTerminates(in.then) && sc.seqTerminates(in.els)
+		case machine.IRIfCmp, machine.IRIfCas:
+			term = len(in.Else) > 0 && sc.seqTerminates(in.Then) && sc.seqTerminates(in.Else)
 			if !term {
 				// A non-terminating branch falls through; keep scanning.
-				sc.seqTerminates(in.then)
-				sc.seqTerminates(in.els)
+				sc.seqTerminates(in.Then)
+				sc.seqTerminates(in.Else)
 			}
 		}
 		if term {
 			if i != len(seq)-1 {
-				sc.c.errs.errorf(seq[i+1].pos, "unreachable instruction (the previous instruction always transfers control)")
+				sc.c.errs.errorf(seq[i+1].Pos, "unreachable instruction (the previous instruction always transfers control)")
 			}
 			return true
 		}
@@ -512,8 +443,8 @@ func (sc *methodScope) seqTerminates(seq []rInstr) bool {
 
 // resolveSeq resolves an instruction sequence; the bool reports whether
 // resolution of every instruction succeeded.
-func (sc *methodScope) resolveSeq(seq []Instr) ([]rInstr, bool) {
-	out := make([]rInstr, 0, len(seq))
+func (sc *methodScope) resolveSeq(seq []Instr) ([]machine.Instr, bool) {
+	out := make([]machine.Instr, 0, len(seq))
 	ok := true
 	for _, in := range seq {
 		ri, good := sc.resolveInstr(in)
@@ -523,42 +454,42 @@ func (sc *methodScope) resolveSeq(seq []Instr) ([]rInstr, bool) {
 	return out, ok
 }
 
-func (sc *methodScope) resolveInstr(in Instr) (rInstr, bool) {
+func (sc *methodScope) resolveInstr(in Instr) (machine.Instr, bool) {
 	c := sc.c
 	switch in := in.(type) {
 	case *Goto:
 		idx, ok := sc.labels[in.Label]
 		if !ok {
 			c.errs.errorf(in.P, "goto %s: no statement with that label in method %s", in.Label, sc.method.Name)
-			return rInstr{op: opGoto, pos: in.P}, false
+			return machine.Instr{Op: machine.IRGoto, Pos: in.P}, false
 		}
-		return rInstr{op: opGoto, target: idx, pos: in.P}, true
+		return machine.Instr{Op: machine.IRGoto, Target: idx, Pos: in.P}, true
 	case *Return:
 		val, kind, ok := sc.resolveExpr(in.Val)
 		if ok && kind == "ptr" {
 			c.errs.errorf(in.Val.P, "cannot return a pointer: return values are data values")
 			ok = false
 		}
-		return rInstr{op: opReturn, a: val, pos: in.P}, ok
+		return machine.Instr{Op: machine.IRReturn, A: val, Pos: in.P}, ok
 	case *Free:
 		loc, kind, ok := sc.resolveVar(in.NamePos, in.Name)
 		if ok && kind != "ptr" {
 			c.errs.errorf(in.NamePos, "free(%s): %s is not a pointer", in.Name, in.Name)
 			ok = false
 		}
-		return rInstr{op: opFree, lhs: loc, pos: in.P}, ok
+		return machine.Instr{Op: machine.IRFree, LHS: loc, Pos: in.P}, ok
 	case *CasStmt:
 		ri, ok := sc.resolveCas(in.Cas)
-		ri.op = opCas
-		ri.pos = in.P
+		ri.Op = machine.IRCas
+		ri.Pos = in.P
 		return ri, ok
 	case *If:
-		ri := rInstr{pos: in.P}
+		ri := machine.Instr{Pos: in.P}
 		var ok bool
 		if in.Cond.Cas != nil {
 			ri, ok = sc.resolveCas(in.Cond.Cas)
-			ri.op = opIfCas
-			ri.pos = in.P
+			ri.Op = machine.IRIfCas
+			ri.Pos = in.P
 		} else {
 			x, xk, okx := sc.resolveExpr(in.Cond.X)
 			y, yk, oky := sc.resolveExpr(in.Cond.Y)
@@ -567,13 +498,13 @@ func (sc *methodScope) resolveInstr(in Instr) (rInstr, bool) {
 				c.errs.errorf(in.Cond.P, "comparison mixes %s and %s operands", xk, yk)
 				ok = false
 			}
-			ri.op = opIfCmp
-			ri.a, ri.b = x, y
-			ri.negate = in.Cond.Op == "!="
+			ri.Op = machine.IRIfCmp
+			ri.A, ri.B = x, y
+			ri.Negate = in.Cond.Op == "!="
 		}
 		then, okt := sc.resolveSeq(in.Then)
 		els, oke := sc.resolveSeq(in.Else)
-		ri.then, ri.els = then, els
+		ri.Then, ri.Else = then, els
 		return ri, ok && okt && oke
 	case *Assign:
 		lhs, lk, ok := sc.resolveLValue(&in.LHS)
@@ -583,11 +514,11 @@ func (sc *methodScope) resolveInstr(in Instr) (rInstr, bool) {
 				c.errs.errorf(in.AllocPos, "alloc(%s): no node kind named %s", in.AllocKind, in.AllocKind)
 				ok = false
 			}
-			if ok && (lhs.kind == locField || lk != "ptr") {
+			if ok && (lhs.Kind == machine.LocField || lk != "ptr") {
 				c.errs.errorf(in.LHS.P, "alloc result must be stored in a ptr variable")
 				ok = false
 			}
-			return rInstr{op: opAlloc, lhs: lhs, allocKind: kind, pos: in.P}, ok
+			return machine.Instr{Op: machine.IRAlloc, LHS: lhs, AllocKind: kind, Pos: in.P}, ok
 		}
 		rhs, rk, okr := sc.resolveExpr(in.RHS)
 		ok = ok && okr
@@ -595,7 +526,7 @@ func (sc *methodScope) resolveInstr(in Instr) (rInstr, bool) {
 			c.errs.errorf(in.P, "cannot assign %s expression to %s location %s", rk, lk, lvName(&in.LHS))
 			ok = false
 		}
-		return rInstr{op: opAssign, lhs: lhs, a: rhs, pos: in.P}, ok
+		return machine.Instr{Op: machine.IRAssign, LHS: lhs, A: rhs, Pos: in.P}, ok
 	}
 	panic("bbvl: unknown instruction type")
 }
@@ -609,7 +540,7 @@ func lvName(lv *LValue) string {
 
 // resolveCas resolves the shared cas(target, exp, new) form used by both
 // the statement and the condition position.
-func (sc *methodScope) resolveCas(cs *Cas) (rInstr, bool) {
+func (sc *methodScope) resolveCas(cs *Cas) (machine.Instr, bool) {
 	c := sc.c
 	loc, lk, ok := sc.resolveLValue(&cs.Target)
 	exp, ek, oke := sc.resolveExpr(cs.Exp)
@@ -619,28 +550,28 @@ func (sc *methodScope) resolveCas(cs *Cas) (rInstr, bool) {
 		c.errs.errorf(cs.P, "cas operands must match the %s kind of %s", lk, lvName(&cs.Target))
 		ok = false
 	}
-	if ok && loc.kind == locLocal {
+	if ok && loc.Kind == machine.LocLocal {
 		c.errs.errorf(cs.P, "cas target %s is a local; cas needs a shared location", lvName(&cs.Target))
 		ok = false
 	}
-	return rInstr{lhs: loc, a: exp, b: nv, pos: cs.P}, ok
+	return machine.Instr{LHS: loc, A: exp, B: nv, Pos: cs.P}, ok
 }
 
 // resolveVar resolves a bare variable name to a location and its kind.
-func (sc *methodScope) resolveVar(pos Pos, name string) (rLoc, string, bool) {
+func (sc *methodScope) resolveVar(pos Pos, name string) (machine.Loc, string, bool) {
 	if slot, ok := sc.localIdx[name]; ok {
-		return rLoc{kind: locLocal, idx: slot, pos: pos, name: name}, sc.locals[slot].Kind, true
+		return machine.Loc{Kind: machine.LocLocal, Index: slot, Pos: pos, Name: name}, sc.locals[slot].Kind, true
 	}
 	if gi, ok := sc.c.globalIdx[name]; ok {
-		return rLoc{kind: locGlobal, idx: gi, pos: pos, name: name}, sc.c.globalKind[gi], true
+		return machine.Loc{Kind: machine.LocGlobal, Index: gi, Pos: pos, Name: name}, sc.c.globalKind[gi], true
 	}
 	sc.c.errs.errorf(pos, "undefined variable %s", name)
-	return rLoc{pos: pos, name: name}, "val", false
+	return machine.Loc{Pos: pos, Name: name}, "val", false
 }
 
 // resolveLValue resolves a variable or field location; the string is the
 // location's kind ("val", "ptr"; mark fields resolve as "val").
-func (sc *methodScope) resolveLValue(lv *LValue) (rLoc, string, bool) {
+func (sc *methodScope) resolveLValue(lv *LValue) (machine.Loc, string, bool) {
 	base, bk, ok := sc.resolveVar(lv.P, lv.Base)
 	if lv.Field == "" {
 		return base, bk, ok
@@ -652,15 +583,15 @@ func (sc *methodScope) resolveLValue(lv *LValue) (rLoc, string, bool) {
 	fi, found := sc.c.fields[lv.Field]
 	if !found {
 		sc.c.errs.errorf(lv.FieldPos, "no node kind declares a field named %s", lv.Field)
-		return rLoc{kind: locField, pos: lv.P, name: lvName(lv)}, "val", false
+		return machine.Loc{Kind: machine.LocField, Pos: lv.P, Name: lvName(lv)}, "val", false
 	}
-	loc := rLoc{
-		kind:       locField,
-		idx:        base.idx,
-		baseGlobal: base.kind == locGlobal,
-		field:      fi.acc,
-		pos:        lv.P,
-		name:       lvName(lv),
+	loc := machine.Loc{
+		Kind:       machine.LocField,
+		Index:      base.Index,
+		BaseGlobal: base.Kind == machine.LocGlobal,
+		Field:      fi.acc,
+		Pos:        lv.P,
+		Name:       lvName(lv),
 	}
 	kind := fi.class
 	if kind == "mark" {
@@ -679,31 +610,31 @@ var constValues = map[string]int32{
 }
 
 // resolveExpr resolves an operand expression to (operand, kind, ok).
-func (sc *methodScope) resolveExpr(e *Expr) (rOperand, string, bool) {
+func (sc *methodScope) resolveExpr(e *Expr) (machine.Operand, string, bool) {
 	if e == nil {
-		return rOperand{}, "val", false
+		return machine.Operand{}, "val", false
 	}
 	if e.IsInt {
-		return rOperand{kind: oLit, lit: e.Int}, "val", true
+		return machine.Operand{Kind: machine.OperandLit, Lit: e.Int}, "val", true
 	}
 	if e.Field != "" {
 		loc, kind, ok := sc.resolveLValue(&LValue{P: e.P, Base: e.Name, Field: e.Field, FieldPos: e.FieldPos})
-		return rOperand{kind: oLoc, loc: loc}, kind, ok
+		return machine.Operand{Kind: machine.OperandLoc, Loc: loc}, kind, ok
 	}
 	switch e.Name {
 	case "nil":
-		return rOperand{kind: oLit, lit: 0}, "ptr", true
+		return machine.Operand{Kind: machine.OperandLit, Lit: 0}, "ptr", true
 	case "self":
-		return rOperand{kind: oSelf}, "val", true
+		return machine.Operand{Kind: machine.OperandSelf}, "val", true
 	}
 	if v, ok := constValues[e.Name]; ok {
-		return rOperand{kind: oLit, lit: v}, "val", true
+		return machine.Operand{Kind: machine.OperandLit, Lit: v}, "val", true
 	}
 	if e.Name == sc.argName && sc.argName != "" {
-		return rOperand{kind: oArg}, "val", true
+		return machine.Operand{Kind: machine.OperandArg}, "val", true
 	}
 	loc, kind, ok := sc.resolveVar(e.P, e.Name)
-	return rOperand{kind: oLoc, loc: loc}, kind, ok
+	return machine.Operand{Kind: machine.OperandLoc, Loc: loc}, kind, ok
 }
 
 // accessCount tracks the distinct shared locations an atomic statement
@@ -805,7 +736,7 @@ func (sc *methodScope) sharedWriteKey(lv *LValue) (string, bool) {
 
 // checkInit validates the init block: straight-line global and field
 // initialization only.
-func (c *checker) checkInit(seq []Instr) []rInstr {
+func (c *checker) checkInit(seq []Instr) []machine.Instr {
 	if len(seq) == 0 {
 		return nil
 	}
@@ -819,7 +750,7 @@ func (c *checker) checkInit(seq []Instr) []rInstr {
 		fresh:    map[int]bool{},
 		exempt:   true,
 	}
-	var out []rInstr
+	var out []machine.Instr
 	for _, in := range seq {
 		as, ok := in.(*Assign)
 		if !ok {

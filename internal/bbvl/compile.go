@@ -63,7 +63,11 @@ func (m *Model) Algorithm() *algorithms.Algorithm {
 	return a
 }
 
-// instantiate builds the machine.Program for one instance size.
+// instantiate builds the machine.Program for one instance size. Besides
+// the executable statements it attaches the static metadata the vet
+// analyzers read: source positions on every schema entry, method and
+// statement, and each statement's micro-instruction sequence (Stmt.IR —
+// the same []machine.Instr the Exec closure interprets).
 func (p *rProgram) instantiate(cfg algorithms.Config) *machine.Program {
 	heapCap := p.heapExtra
 	if p.heapTotalOps {
@@ -71,18 +75,20 @@ func (p *rProgram) instantiate(cfg algorithms.Config) *machine.Program {
 	}
 	prog := &machine.Program{
 		Name:       p.name,
-		Globals:    machine.Schema{Names: p.globalNames, Kinds: p.globalKinds},
+		Globals:    machine.Schema{Names: p.globalNames, Kinds: p.globalKinds, Pos: p.globalPos},
 		HeapCap:    heapCap,
 		NLocals:    p.nlocals,
 		LocalKinds: p.localKinds,
+		Source:     p.source,
 	}
 	if len(p.init) > 0 {
 		seq := p.init
+		prog.InitIR = seq
 		prog.Init = func(g *machine.Global) {
 			// Init runs single-threaded before exploration; a zero Ctx
 			// over the fresh Global reuses the statement interpreter.
 			c := &machine.Ctx{G: g}
-			execSeq(c, seq)
+			machine.RunIR(c, seq)
 		}
 	}
 	for i := range p.methods {
@@ -94,190 +100,17 @@ func (p *rProgram) instantiate(cfg algorithms.Config) *machine.Program {
 		case len(rm.argSet) > 0:
 			args = rm.argSet
 		}
-		meth := machine.Method{Name: rm.name, Args: args}
+		meth := machine.Method{Name: rm.name, Args: args, Pos: rm.pos}
 		for j := range rm.stmts {
 			body := rm.stmts[j].body
 			meth.Body = append(meth.Body, machine.Stmt{
 				Label: rm.stmts[j].label,
-				Exec:  func(c *machine.Ctx) { execSeq(c, body) },
+				Exec:  func(c *machine.Ctx) { machine.RunIR(c, body) },
+				Pos:   rm.stmts[j].pos,
+				IR:    body,
 			})
 		}
 		prog.Methods = append(prog.Methods, meth)
 	}
 	return prog
-}
-
-// execSeq interprets one micro-instruction sequence against the
-// statement context, returning whether control transferred (goto or
-// return). The checker guarantees every top-level statement sequence
-// terminates, so a statement always emits exactly one outcome.
-func execSeq(c *machine.Ctx, seq []rInstr) bool {
-	for i := range seq {
-		in := &seq[i]
-		switch in.op {
-		case opAssign:
-			storeLoc(c, &in.lhs, evalOp(c, &in.a))
-		case opAlloc:
-			storeLoc(c, &in.lhs, c.Alloc(in.allocKind))
-		case opFree:
-			p := loadLoc(c, &in.lhs)
-			if !validRef(c, p) {
-				panic(fmt.Sprintf("bbvl: %s: free(%s): nil or invalid pointer", in.pos, in.lhs.name))
-			}
-			c.Free(p)
-		case opCas:
-			doCas(c, in)
-		case opGoto:
-			c.Goto(in.target)
-			return true
-		case opReturn:
-			c.Return(evalOp(c, &in.a))
-			return true
-		case opIfCmp:
-			cond := evalOp(c, &in.a) == evalOp(c, &in.b)
-			if in.negate {
-				cond = !cond
-			}
-			if execBranch(c, in, cond) {
-				return true
-			}
-		case opIfCas:
-			if execBranch(c, in, doCas(c, in)) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// execBranch runs the taken branch of an if; a branch that does not
-// transfer control falls through to the instructions after the if.
-func execBranch(c *machine.Ctx, in *rInstr, cond bool) bool {
-	if cond {
-		return execSeq(c, in.then)
-	}
-	return execSeq(c, in.els)
-}
-
-// doCas performs compare-and-swap on a shared location.
-func doCas(c *machine.Ctx, in *rInstr) bool {
-	exp := evalOp(c, &in.a)
-	nv := evalOp(c, &in.b)
-	l := &in.lhs
-	if l.kind == locGlobal {
-		return c.CASV(l.idx, exp, nv)
-	}
-	n := nodeDeref(c, l)
-	cur := fieldGet(n, l.field)
-	if cur != exp {
-		return false
-	}
-	fieldSet(n, l.field, nv)
-	return true
-}
-
-// evalOp evaluates one operand.
-func evalOp(c *machine.Ctx, o *rOperand) int32 {
-	switch o.kind {
-	case oLit:
-		return o.lit
-	case oArg:
-		return c.Arg
-	case oSelf:
-		return c.Self()
-	default:
-		return loadLoc(c, &o.loc)
-	}
-}
-
-// loadLoc reads a storage location.
-func loadLoc(c *machine.Ctx, l *rLoc) int32 {
-	switch l.kind {
-	case locGlobal:
-		return c.V(l.idx)
-	case locLocal:
-		return c.L[l.idx]
-	default:
-		return fieldGet(nodeDeref(c, l), l.field)
-	}
-}
-
-// storeLoc writes a storage location.
-func storeLoc(c *machine.Ctx, l *rLoc, v int32) {
-	switch l.kind {
-	case locGlobal:
-		c.SetV(l.idx, v)
-	case locLocal:
-		c.L[l.idx] = v
-	default:
-		fieldSet(nodeDeref(c, l), l.field, v)
-	}
-}
-
-// nodeDeref resolves a field location's base pointer to its heap node,
-// panicking with the source position on a nil or dangling pointer (the
-// api layer converts the panic into a job error for user models).
-func nodeDeref(c *machine.Ctx, l *rLoc) *machine.Node {
-	var p int32
-	if l.baseGlobal {
-		p = c.V(l.idx)
-	} else {
-		p = c.L[l.idx]
-	}
-	if !validRef(c, p) {
-		panic(fmt.Sprintf("bbvl: %s: %s: nil or invalid pointer dereference", l.pos, l.name))
-	}
-	return c.Node(p)
-}
-
-// validRef reports whether p is a live heap reference.
-func validRef(c *machine.Ctx, p int32) bool {
-	return p > 0 && int(p) < len(c.G.Heap) && c.G.Heap[p].Kind != 0
-}
-
-// fieldGet reads one machine.Node field.
-func fieldGet(n *machine.Node, f fieldAcc) int32 {
-	switch f {
-	case fVal:
-		return n.Val
-	case fKey:
-		return n.Key
-	case fC:
-		return n.C
-	case fD:
-		return n.D
-	case fNext:
-		return n.Next
-	case fA:
-		return n.A
-	case fB:
-		return n.B
-	default:
-		if n.Mark {
-			return 1
-		}
-		return 0
-	}
-}
-
-// fieldSet writes one machine.Node field.
-func fieldSet(n *machine.Node, f fieldAcc, v int32) {
-	switch f {
-	case fVal:
-		n.Val = v
-	case fKey:
-		n.Key = v
-	case fC:
-		n.C = v
-	case fD:
-		n.D = v
-	case fNext:
-		n.Next = v
-	case fA:
-		n.A = v
-	case fB:
-		n.B = v
-	default:
-		n.Mark = v != 0
-	}
 }

@@ -30,16 +30,16 @@ func (m *Model) Dump() string {
 		for _, fd := range n.Fields {
 			i := counts[fd.Class]
 			counts[fd.Class]++
-			var acc fieldAcc
+			var acc machine.FieldSel
 			switch fd.Class {
 			case "val":
 				acc = valFieldSlots[i]
 			case "ptr":
 				acc = ptrFieldSlots[i]
 			default:
-				acc = fMark
+				acc = machine.FieldMark
 			}
-			fmt.Fprintf(&b, "  %s (%s) -> machine.Node.%s\n", fd.Name, fd.Class, fieldAccNames[acc])
+			fmt.Fprintf(&b, "  %s (%s) -> machine.Node.%s\n", fd.Name, fd.Class, acc)
 		}
 	}
 
@@ -112,7 +112,7 @@ func joinInts(vs []int32) string {
 	return "{" + strings.Join(parts, ", ") + "}"
 }
 
-func (m *Model) renderSeq(rm *rMethod, seq []rInstr) string {
+func (m *Model) renderSeq(rm *rMethod, seq []machine.Instr) string {
 	parts := make([]string, len(seq))
 	for i := range seq {
 		parts[i] = m.renderInstr(rm, &seq[i])
@@ -120,71 +120,71 @@ func (m *Model) renderSeq(rm *rMethod, seq []rInstr) string {
 	return strings.Join(parts, "; ")
 }
 
-func (m *Model) renderInstr(rm *rMethod, in *rInstr) string {
-	switch in.op {
-	case opAssign:
-		return m.renderLoc(&in.lhs) + " = " + m.renderOp(&in.a)
-	case opAlloc:
-		return fmt.Sprintf("%s = alloc(%s)", m.renderLoc(&in.lhs), m.nodeName(in.allocKind))
-	case opFree:
-		return "free(" + m.renderLoc(&in.lhs) + ")"
-	case opCas:
+func (m *Model) renderInstr(rm *rMethod, in *machine.Instr) string {
+	switch in.Op {
+	case machine.IRAssign:
+		return m.renderLoc(&in.LHS) + " = " + m.renderOp(&in.A)
+	case machine.IRAlloc:
+		return fmt.Sprintf("%s = alloc(%s)", m.renderLoc(&in.LHS), m.nodeName(in.AllocKind))
+	case machine.IRFree:
+		return "free(" + m.renderLoc(&in.LHS) + ")"
+	case machine.IRCas:
 		return m.renderCas(in)
-	case opGoto:
-		return "goto " + rm.stmts[in.target].label
-	case opReturn:
-		return "return " + m.renderOp(&in.a)
-	case opIfCmp, opIfCas:
+	case machine.IRGoto:
+		return "goto " + rm.stmts[in.Target].label
+	case machine.IRReturn:
+		return "return " + m.renderOp(&in.A)
+	case machine.IRIfCmp, machine.IRIfCas:
 		var cond string
-		if in.op == opIfCas {
+		if in.Op == machine.IRIfCas {
 			cond = m.renderCas(in)
 		} else {
 			op := "=="
-			if in.negate {
+			if in.Negate {
 				op = "!="
 			}
-			cond = m.renderOp(&in.a) + " " + op + " " + m.renderOp(&in.b)
+			cond = m.renderOp(&in.A) + " " + op + " " + m.renderOp(&in.B)
 		}
-		s := "if " + cond + " { " + m.renderSeq(rm, in.then) + " }"
-		if len(in.els) > 0 {
-			s += " else { " + m.renderSeq(rm, in.els) + " }"
+		s := "if " + cond + " { " + m.renderSeq(rm, in.Then) + " }"
+		if len(in.Else) > 0 {
+			s += " else { " + m.renderSeq(rm, in.Else) + " }"
 		}
 		return s
 	}
 	return "?"
 }
 
-func (m *Model) renderCas(in *rInstr) string {
-	return fmt.Sprintf("cas(%s, %s, %s)", m.renderLoc(&in.lhs), m.renderOp(&in.a), m.renderOp(&in.b))
+func (m *Model) renderCas(in *machine.Instr) string {
+	return fmt.Sprintf("cas(%s, %s, %s)", m.renderLoc(&in.LHS), m.renderOp(&in.A), m.renderOp(&in.B))
 }
 
-func (m *Model) renderLoc(l *rLoc) string {
-	switch l.kind {
-	case locGlobal:
-		return m.prog.globalNames[l.idx]
-	case locLocal:
-		return fmt.Sprintf("l%d", l.idx)
+func (m *Model) renderLoc(l *machine.Loc) string {
+	switch l.Kind {
+	case machine.LocGlobal:
+		return m.prog.globalNames[l.Index]
+	case machine.LocLocal:
+		return fmt.Sprintf("l%d", l.Index)
 	default:
 		var base string
-		if l.baseGlobal {
-			base = m.prog.globalNames[l.idx]
+		if l.BaseGlobal {
+			base = m.prog.globalNames[l.Index]
 		} else {
-			base = fmt.Sprintf("l%d", l.idx)
+			base = fmt.Sprintf("l%d", l.Index)
 		}
-		return base + "." + fieldAccNames[l.field]
+		return base + "." + l.Field.String()
 	}
 }
 
-func (m *Model) renderOp(o *rOperand) string {
-	switch o.kind {
-	case oLit:
-		return machine.FormatValue(o.lit)
-	case oArg:
+func (m *Model) renderOp(o *machine.Operand) string {
+	switch o.Kind {
+	case machine.OperandLit:
+		return machine.FormatValue(o.Lit)
+	case machine.OperandArg:
 		return "arg"
-	case oSelf:
+	case machine.OperandSelf:
 		return "self"
 	default:
-		return m.renderLoc(&o.loc)
+		return m.renderLoc(&o.Loc)
 	}
 }
 

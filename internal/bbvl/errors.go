@@ -2,19 +2,17 @@ package bbvl
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+
+	"repro/internal/machine"
 )
 
 // Pos is a position in a model source file, 1-based in both line and
 // column. File is the (virtual) filename the source was loaded under.
-type Pos struct {
-	File string
-	Line int
-	Col  int
-}
-
-// String renders the conventional file:line:col form.
-func (p Pos) String() string { return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col) }
+// It is the machine package's Pos: the compiler threads these positions
+// into the compiled machine.Program metadata unchanged.
+type Pos = machine.Pos
 
 // Error is one positioned diagnostic produced by the lexer, parser or
 // typechecker.
@@ -40,6 +38,23 @@ func (l ErrorList) Error() string {
 		msgs[i] = e.Error()
 	}
 	return strings.Join(msgs, "\n")
+}
+
+// Sort orders the diagnostics by source position (file, then line, then
+// column), keeping the emission order for exact ties. Checker passes
+// visit declarations in several orders (and one walks a map), so sorting
+// is what makes multi-error output deterministic.
+func (l ErrorList) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		a, b := l[i].Pos, l[j].Pos
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
 }
 
 // errorf appends a positioned diagnostic.

@@ -1,0 +1,94 @@
+package bbvl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestErrorListSort pins the sort order: file, then line, then column.
+func TestErrorListSort(t *testing.T) {
+	mk := func(file string, line, col int) *Error {
+		return &Error{Pos: machine.Pos{File: file, Line: line, Col: col}, Msg: "x"}
+	}
+	l := ErrorList{
+		mk("b.bbvl", 1, 1),
+		mk("a.bbvl", 9, 2),
+		mk("a.bbvl", 2, 8),
+		mk("a.bbvl", 2, 3),
+	}
+	l.Sort()
+	var got []string
+	for _, e := range l {
+		got = append(got, e.Pos.String())
+	}
+	want := "a.bbvl:2:3 a.bbvl:2:8 a.bbvl:9:2 b.bbvl:1:1"
+	if strings.Join(got, " ") != want {
+		t.Errorf("sorted order = %v, want %s", got, want)
+	}
+}
+
+// TestCheckErrorsSortedByPosition holds Check's multi-error output to
+// source order. The spec-shape diagnostics are discovered after the
+// method-body ones but anchor to earlier lines; unsorted emission would
+// interleave them out of order (and the spec-shape pass iterates a map,
+// so the raw order is not even deterministic).
+func TestCheckErrorsSortedByPosition(t *testing.T) {
+	src := `model bad
+
+globals {
+  G: val
+}
+
+spec stack
+
+method Pop() {
+  Q1: X = 1; return empty
+}
+
+method Push() {
+  P1: Y = 2; return ok
+}
+
+method Extra() {
+  E1: Z = 3; return ok
+}
+`
+	_, err := Load("bad.bbvl", []byte(src))
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	list, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("error is %T, want ErrorList", err)
+	}
+	if len(list) < 4 {
+		t.Fatalf("expected at least 4 diagnostics, got %d: %v", len(list), err)
+	}
+	prev := machine.Pos{}
+	for i, e := range list {
+		if i > 0 {
+			p, q := prev, e.Pos
+			if q.Line < p.Line || (q.Line == p.Line && q.Col < p.Col) {
+				t.Errorf("diagnostic %d at %s appears after %s: list is not position-sorted:\n%v", i, q, p, err)
+			}
+		}
+		prev = e.Pos
+	}
+	// The spec-shape error for Push (line 13) must land between the two
+	// undefined-variable errors at lines 10 and 14.
+	var order []int
+	for _, e := range list {
+		order = append(order, e.Pos.Line)
+	}
+	sawShape := false
+	for _, e := range list {
+		if strings.Contains(e.Msg, "must take an argument") && e.Pos.Line == 13 {
+			sawShape = true
+		}
+	}
+	if !sawShape {
+		t.Errorf("missing the line-13 spec-shape diagnostic in %v (lines %v)", err, order)
+	}
+}

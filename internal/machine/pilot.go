@@ -1,0 +1,400 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the structural τ-cycle probe behind the vet
+// "taucycle" analyzer. A τ-cycle is a cycle of internal statements a
+// thread can traverse solo — with every other thread frozen — without
+// performing a visible call or return. Such a cycle is a real divergence
+// of the bounded instance (the frozen schedule is one of the explorer's
+// interleavings), so any method containing one cannot be lock-free:
+// the scheduler can starve the object by running only the spinning
+// thread. The converse does not hold — the probe is a cheap sound
+// under-approximation, not a replacement for the ≈div check.
+//
+// The probe works on any Program, including hand-coded registry
+// algorithms whose statements are opaque Go closures: it never inspects
+// statement bodies, only executes them the way the explorer does. It
+// explores a small pilot instance breadth-first to collect genuinely
+// reachable states, then runs a memoized depth-first solo walk from
+// every running thread of every state. CAS-retry loops terminate solo
+// (the CAS succeeds when nobody interferes), so lock-free algorithms
+// are never flagged; spins on another thread's state (a hazard-pointer
+// wait, a lock acquisition) diverge solo and are.
+
+// PilotOptions bounds the τ-cycle probe.
+type PilotOptions struct {
+	// Threads and Ops size the pilot instance; 0 defaults to 2.
+	Threads int
+	Ops     int
+	// MaxStates bounds the breadth-first reachable-state collection;
+	// 0 defaults to 60000. Hitting the bound truncates coverage (fewer
+	// probe states), never correctness.
+	MaxStates int
+	// MaxViews bounds the total number of distinct solo-run views the
+	// depth-first walks may visit; 0 defaults to 200000.
+	MaxViews int
+}
+
+// TauCycle is one detected solo τ-cycle: a set of statement indices of
+// one method through which a thread can loop forever without a visible
+// action while every other thread is suspended.
+type TauCycle struct {
+	// Method is the containing method's name; MethodIndex its index.
+	Method      string
+	MethodIndex int
+	// PCs are the statement indices on the cycle, ascending; Labels the
+	// corresponding statement labels.
+	PCs    []int
+	Labels []string
+}
+
+// FindTauCycles probes p for solo τ-cycles and returns them sorted by
+// (method index, first statement index). It returns nil for programs the
+// pilot cannot encode (oversized schemas) and swallows statement panics
+// — a statement that faults during the probe is treated as blocked, and
+// an unexpected failure aborts the probe with the cycles found so far.
+func FindTauCycles(p *Program, opt PilotOptions) (cycles []TauCycle) {
+	if p.Validate() != nil {
+		return nil
+	}
+	// The probe stores raw 4-byte field encodings, so unlike the state
+	// encoder it has no value-range limit; the size guards only keep
+	// degenerate (fuzzed) programs from allocating absurd scratch states.
+	if p.HeapCap > 255 || p.NLocals > 255 || len(p.Globals.Names) > 255 {
+		return nil
+	}
+	if opt.Threads <= 0 {
+		opt.Threads = 2
+	}
+	if opt.Ops <= 0 {
+		opt.Ops = 2
+	}
+	if opt.MaxStates <= 0 {
+		opt.MaxStates = 60000
+	}
+	if opt.MaxViews <= 0 {
+		opt.MaxViews = 200000
+	}
+
+	d := &tauProbe{
+		prog:        p,
+		opt:         opt,
+		x:           newExpander(p, opt.Threads),
+		solo:        newExpander(p, opt.Threads),
+		ids:         make(map[string]struct{}),
+		color:       make(map[string]int8),
+		gray:        make(map[string]int),
+		found:       make(map[string][]int),
+		foundMethod: make(map[string]int),
+	}
+	defer func() {
+		// A panic anywhere in the probe (program Init, a statement run
+		// outside its explored envelope) aborts it but keeps what was
+		// already found: vet is advisory and must never take down the
+		// caller.
+		_ = recover()
+		cycles = d.collect()
+	}()
+	d.run()
+	return d.collect()
+}
+
+// tauProbe carries the probe state: the BFS frontier of canonical pilot
+// states and the solo-walk memo tables.
+type tauProbe struct {
+	prog *Program
+	opt  PilotOptions
+	x    expander // BFS expansion scratch
+	solo expander // solo-walk scratch (separate: walks run mid-BFS state list)
+
+	ids  map[string]struct{}
+	keys [][]byte
+	buf  []byte
+
+	// Solo-walk memo. A "view" is the full canonical state plus the
+	// walking thread's index; its future under a solo schedule depends on
+	// nothing else, so colors are sound across probe states. color is 1
+	// while the view is on the walk stack (gray) and 2 when exhausted
+	// (black); gray maps an on-stack view to its stack index.
+	color map[string]int8
+	gray  map[string]int
+	stack []int // pc per stack entry; the method is fixed during a walk
+	views int
+
+	found       map[string][]int // cycle key -> PCs; de-duplicated
+	foundMethod map[string]int
+}
+
+// run collects reachable pilot states breadth-first, probing each state's
+// running threads as it is dequeued.
+func (d *tauProbe) run() {
+	init := initialState(d.prog, Options{Threads: d.opt.Threads, Ops: d.opt.Ops})
+	d.intern(init)
+	cur := newScratchState(d.prog, d.opt.Threads)
+	for si := 0; si < len(d.keys); si++ {
+		decodeRaw(d.keys[si], cur)
+		for t := range cur.th {
+			if cur.th[t].status == statusRunning && d.views < d.opt.MaxViews {
+				mi := int(cur.th[t].method)
+				d.stack = d.stack[:0]
+				d.walk(cur, t, mi)
+			}
+		}
+		d.expand(cur)
+	}
+}
+
+// expand enumerates cur's successors into the BFS set, swallowing
+// statement panics (the state is then expanded only partially).
+func (d *tauProbe) expand(cur *state) {
+	defer func() { _ = recover() }()
+	d.x.expandState(cur, d)
+}
+
+// emit implements transSink for the BFS: canonicalize and intern the
+// successor, dropping it once the state budget is exhausted.
+func (d *tauProbe) emit(x *expander, tr symTrans) bool {
+	if len(d.keys) < d.opt.MaxStates {
+		d.intern(x.succ)
+	}
+	return true
+}
+
+func (d *tauProbe) intern(st *state) {
+	d.x.canon.run(st)
+	d.buf = encodeRaw(d.buf[:0], st, -1)
+	if _, ok := d.ids[string(d.buf)]; ok {
+		return
+	}
+	key := append([]byte(nil), d.buf...)
+	d.ids[bytesString(key)] = struct{}{}
+	d.keys = append(d.keys, key)
+}
+
+// walk runs the memoized depth-first solo walk of thread t from the
+// canonical state st. It returns when the view is exhausted; cycles are
+// recorded into d.found as they close.
+func (d *tauProbe) walk(st *state, t, mi int) {
+	d.views++
+	if d.views > d.opt.MaxViews {
+		return
+	}
+	d.buf = encodeRaw(d.buf[:0], st, t)
+	key := string(d.buf)
+	switch d.color[key] {
+	case 1: // gray: the walk closed a cycle
+		d.record(mi, d.stack[d.gray[key]:])
+		return
+	case 2: // black: already exhausted, no new cycles through here
+		return
+	}
+	th := &st.th[t]
+	if th.status != statusRunning {
+		// A return (or completed method) is a visible-action boundary;
+		// the solo τ-path ends here.
+		d.color[key] = 2
+		return
+	}
+	pc := int(th.pc)
+	d.color[key] = 1
+	d.gray[key] = len(d.stack)
+	d.stack = append(d.stack, pc)
+
+	p := d.prog
+	stmt := &p.Methods[mi].Body[pc]
+	st.copyInto(d.solo.work)
+	d.solo.ctx = Ctx{
+		T:    t,
+		Arg:  th.arg,
+		G:    d.solo.work.g,
+		L:    d.solo.work.th[t].locals,
+		outs: d.solo.ctx.outs[:0],
+	}
+	if func() (panicked bool) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		stmt.Exec(&d.solo.ctx)
+		return false
+	}() {
+		// A faulting statement cannot continue the solo path.
+		d.solo.ctx.outs = d.solo.ctx.outs[:0]
+	}
+	// Successors are materialized before any recursion: the recursive
+	// walks reuse d.solo (its work state and outcome buffer), so neither
+	// may be read after the first recursive call.
+	var succs []*state
+	for _, out := range d.solo.ctx.outs {
+		if out.pc < 0 {
+			continue // return: visible boundary, path ends
+		}
+		if int(out.pc) >= len(p.Methods[mi].Body) {
+			continue
+		}
+		next := d.solo.work.clone()
+		next.th[t].pc = out.pc
+		d.solo.canon.run(next)
+		succs = append(succs, next)
+	}
+	for _, next := range succs {
+		d.walk(next, t, mi)
+	}
+
+	d.stack = d.stack[:len(d.stack)-1]
+	delete(d.gray, key)
+	d.color[key] = 2
+}
+
+// record de-duplicates a closed cycle by its (method, pc-set) identity.
+func (d *tauProbe) record(mi int, cyclePCs []int) {
+	set := map[int]bool{}
+	for _, pc := range cyclePCs {
+		set[pc] = true
+	}
+	pcs := make([]int, 0, len(set))
+	for pc := range set {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	key := []byte{byte(mi)}
+	for _, pc := range pcs {
+		key = append(key, byte(pc), ',')
+	}
+	k := string(key)
+	if _, dup := d.found[k]; dup {
+		return
+	}
+	d.found[k] = pcs
+	d.foundMethod[k] = mi
+}
+
+// collect renders the de-duplicated cycles in deterministic order.
+func (d *tauProbe) collect() []TauCycle {
+	if len(d.found) == 0 {
+		return nil
+	}
+	out := make([]TauCycle, 0, len(d.found))
+	for k, pcs := range d.found {
+		mi := d.foundMethod[k]
+		m := &d.prog.Methods[mi]
+		c := TauCycle{Method: m.Name, MethodIndex: mi, PCs: pcs}
+		for _, pc := range pcs {
+			lbl := m.Body[pc].Label
+			if lbl == "" {
+				lbl = fmt.Sprintf("%s.%d", m.Name, pc)
+			}
+			c.Labels = append(c.Labels, lbl)
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MethodIndex != out[j].MethodIndex {
+			return out[i].MethodIndex < out[j].MethodIndex
+		}
+		return lessInts(out[i].PCs, out[j].PCs)
+	})
+	return out
+}
+
+func lessInts(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// encodeRaw serializes a state (and a distinguishing thread index for
+// solo-walk views; -1 for plain states) with 4 bytes per field. Unlike
+// the exploration encoder it cannot fail on out-of-range values, which
+// matters because the probe also runs on defective programs that vet is
+// about to warn about.
+func encodeRaw(buf []byte, st *state, viewThread int) []byte {
+	put := func(v int32) {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	put(int32(viewThread))
+	for _, v := range st.g.Vars {
+		put(v)
+	}
+	hw := 0
+	for i := len(st.g.Heap) - 1; i >= 1; i-- {
+		if st.g.Heap[i] != (Node{}) {
+			hw = i
+			break
+		}
+	}
+	put(int32(hw))
+	for i := 1; i <= hw; i++ {
+		n := &st.g.Heap[i]
+		m := int32(0)
+		if n.Mark {
+			m = 1
+		}
+		for _, v := range []int32{n.Kind, n.Val, n.Key, n.Next, n.A, n.B, n.C, n.D, m, n.Lock} {
+			put(v)
+		}
+	}
+	for ti := range st.th {
+		th := &st.th[ti]
+		for _, v := range []int32{th.status, th.method, th.arg, th.pc, th.ret, th.ops} {
+			put(v)
+		}
+		for _, l := range th.locals {
+			put(l)
+		}
+	}
+	return buf
+}
+
+// decodeRaw reconstructs a state from its encodeRaw form into st, which
+// must be shaped for the program. The leading view-thread field is
+// skipped.
+func decodeRaw(buf []byte, st *state) {
+	i := 0
+	get := func() int32 {
+		v := int32(buf[i]) | int32(buf[i+1])<<8 | int32(buf[i+2])<<16 | int32(buf[i+3])<<24
+		i += 4
+		return v
+	}
+	_ = get() // view thread
+	for j := range st.g.Vars {
+		st.g.Vars[j] = get()
+	}
+	hw := int(get())
+	for j := range st.g.Heap {
+		st.g.Heap[j] = Node{}
+	}
+	for j := 1; j <= hw; j++ {
+		n := &st.g.Heap[j]
+		n.Kind = get()
+		n.Val = get()
+		n.Key = get()
+		n.Next = get()
+		n.A = get()
+		n.B = get()
+		n.C = get()
+		n.D = get()
+		n.Mark = get() != 0
+		n.Lock = get()
+	}
+	for ti := range st.th {
+		th := &st.th[ti]
+		th.status = get()
+		th.method = get()
+		th.arg = get()
+		th.pc = get()
+		th.ret = get()
+		th.ops = get()
+		for j := range th.locals {
+			th.locals[j] = get()
+		}
+	}
+}

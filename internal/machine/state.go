@@ -129,10 +129,19 @@ func (c *canonicalizer) run(st *state) {
 }
 
 // Encoding: one byte per field with a +64 bias, so any field value in
-// [-64, 191] round-trips. Exploration states of the bounded instances in
-// this library stay far inside that range; the helper panics otherwise to
-// catch mis-sized models immediately.
+// [EncodeMin, EncodeMax] round-trips. Exploration states of the bounded
+// instances in this library stay far inside that range; the helper panics
+// otherwise to catch mis-sized models immediately.
 const encBias = 64
+
+// EncodeMin and EncodeMax bound the field values the state encoder can
+// represent. A program whose statements can store values outside this
+// range corrupts its state encoding at exploration time; the vet
+// domain-overflow analyzer warns about such statements statically.
+const (
+	EncodeMin = -encBias
+	EncodeMax = 255 - encBias
+)
 
 func encByte(buf []byte, v int32) []byte {
 	b := v + encBias

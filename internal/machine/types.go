@@ -127,6 +127,9 @@ func (g *Global) Clone() *Global {
 type Schema struct {
 	Names []string
 	Kinds []VarKind
+	// Pos holds the declaration position of each global when the program
+	// came from BBVL source; nil for hand-coded programs.
+	Pos []Pos
 }
 
 // Index returns the index of a named global, or -1.
@@ -151,6 +154,14 @@ type Stmt struct {
 	// number of the paper's pseudo-code (e.g. "L28").
 	Label string
 	Exec  func(c *Ctx)
+	// Pos is the statement's source position when the program came from
+	// BBVL; the zero Pos for hand-coded programs.
+	Pos Pos
+	// IR is the statement's compiled micro-instruction sequence when the
+	// program came from BBVL; nil for hand-coded programs, whose Exec
+	// closures are opaque. When non-nil, Exec is equivalent to
+	// RunIR(c, IR) — static analyzers read IR, execution uses Exec.
+	IR []Instr
 }
 
 // Method is one object method: a name, the possible argument values the
@@ -160,6 +171,9 @@ type Method struct {
 	Name string
 	Args []int32
 	Body []Stmt
+	// Pos is the method's declaration position when the program came
+	// from BBVL; the zero Pos for hand-coded programs.
+	Pos Pos
 }
 
 // Program is a complete object model: shared-state schema, per-thread
@@ -190,6 +204,12 @@ type Program struct {
 	// FormatRet renders a return value for action names; nil uses
 	// FormatValue.
 	FormatRet func(m *Method, ret int32) string
+	// Source is the file the program was compiled from, when it came
+	// from BBVL; empty for hand-coded programs.
+	Source string
+	// InitIR is the micro-instruction form of Init when the program came
+	// from BBVL; nil for hand-coded programs.
+	InitIR []Instr
 }
 
 // Validate checks internal consistency of the program definition.

@@ -18,6 +18,7 @@ const maxBodyBytes = 1 << 20
 //	GET    /v1/jobs/{id}   job status and result
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /v1/algorithms  the packaged algorithm registry
+//	GET    /v1/analyzers   the vet analyzer catalogue
 //	GET    /healthz        liveness
 //	GET    /metrics        counters, Prometheus text format
 func (s *Server) Handler() http.Handler {
@@ -27,6 +28,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /v1/analyzers", s.handleAnalyzers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -96,6 +98,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, api.ListAlgorithms())
+}
+
+func (s *Server) handleAnalyzers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.ListAnalyzers())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

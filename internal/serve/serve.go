@@ -101,13 +101,16 @@ type job struct {
 	spec api.JobSpec
 	key  string
 
-	status    Status
-	cached    bool
-	result    *api.Result
-	errMsg    string
-	cancel    context.CancelCauseFunc // non-nil only while running
-	submitted time.Time
-	finished  time.Time
+	status Status
+	cached bool
+	result *api.Result
+	errMsg string
+	// vetWarnings are the submit-time vet findings, attached to the
+	// result when the job completes (so the cached result carries them).
+	vetWarnings []api.VetFinding
+	cancel      context.CancelCauseFunc // non-nil only while running
+	submitted   time.Time
+	finished    time.Time
 }
 
 // JobView is the wire representation of a job, returned by Submit/Get
@@ -182,11 +185,15 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 // Config returns the effective configuration, defaults applied.
 func (s *Server) Config() Config { return s.cfg }
 
-// Submit normalizes, validates and enqueues spec, returning the job's
-// initial view: status "done" (with the result) when the canonical cache
-// key hits, "queued" otherwise. It fails with ErrQueueFull when the
-// bounded queue is at capacity, ErrShutdown during shutdown, and a
-// validation error for malformed specs.
+// Submit normalizes, validates, vets and enqueues spec, returning the
+// job's initial view: status "done" (with the result) when the
+// canonical cache key hits, "queued" otherwise. It fails with
+// ErrQueueFull when the bounded queue is at capacity, ErrShutdown
+// during shutdown, a validation error for malformed specs, and an
+// *api.VetError carrying structured findings when the pre-exploration
+// static-analysis pass reports an error-severity finding (running such
+// a job would be vacuous). Warning findings do not reject the job; they
+// ride along on its result.
 func (s *Server) Submit(spec api.JobSpec) (*JobView, error) {
 	spec.Normalize()
 	if s.cfg.MaxStates > 0 && (spec.MaxStates <= 0 || spec.MaxStates > s.cfg.MaxStates) {
@@ -196,6 +203,21 @@ func (s *Server) Submit(spec api.JobSpec) (*JobView, error) {
 		return nil, err
 	}
 	key := spec.CacheKey()
+
+	// The vet pass runs once per distinct job, on cache miss only, and
+	// outside the server mutex (its τ-cycle probe executes a bounded
+	// pilot exploration). A submission answered from the cache skips it:
+	// the cached result already carries the pass's warnings, so the
+	// cache-key semantics of warning-free jobs are unchanged.
+	var warnings []api.VetFinding
+	if !s.hasCached(key) {
+		ws, err := api.VetSpec(spec)
+		s.metrics.RecordVet(ws)
+		if err != nil {
+			return nil, err
+		}
+		warnings = ws
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -221,6 +243,7 @@ func (s *Server) Submit(spec api.JobSpec) (*JobView, error) {
 		return j.view(), nil
 	}
 	j.status = StatusQueued
+	j.vetWarnings = warnings
 	select {
 	case s.queue <- j:
 	default:
@@ -232,6 +255,15 @@ func (s *Server) Submit(spec api.JobSpec) (*JobView, error) {
 	s.metrics.JobsQueuedNow.Add(1)
 	s.record(j)
 	return j.view(), nil
+}
+
+// hasCached reports whether a result for key is in the cache, without
+// touching anything else.
+func (s *Server) hasCached(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.cache.get(key)
+	return ok
 }
 
 // record indexes the job and evicts the oldest finished jobs beyond the
@@ -350,6 +382,7 @@ func (s *Server) runJob(j *job) {
 	switch {
 	case err == nil:
 		res.ElapsedMS = elapsed.Milliseconds()
+		res.Warnings = j.vetWarnings
 		j.status = StatusDone
 		j.result = res
 		s.cache.put(j.key, res)
