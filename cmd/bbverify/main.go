@@ -74,6 +74,8 @@ func run(args []string) error {
 		return ktraceCmd(args[1:])
 	case "compare":
 		return compareCmd(args[1:])
+	case "explain":
+		return explainCmd(args[1:])
 	case "ltl":
 		return ltlCmd(args[1:])
 	case "sweep":
@@ -86,7 +88,7 @@ func run(args []string) error {
 		usage()
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (try: list, check, explore, ktrace, compare, ltl, sweep, compile, vet)", args[0])
+		return fmt.Errorf("unknown subcommand %q (try: list, check, explore, ktrace, compare, explain, ltl, sweep, compile, vet)", args[0])
 	}
 }
 
@@ -103,6 +105,10 @@ subcommands:
   compare [flags] <algorithm>  compare the object with its specification under
                                weak / branching / divergence-sensitive bisimilarity
                                (Table VII), explaining any inequivalence
+  explain [flags] <algorithm>  print a shortest distinguishing experiment between
+                               the object and its specification when they are not
+                               bisimilar (-kind branching | div-branching); the
+                               experiment is replay-verified on the two systems
   ltl     [flags] <algorithm>  model-check next-free LTL progress properties
                                (-formula lockfree | completes:<Method>)
   sweep   [flags] <algorithm>  sweep the operation bound (Table III / Fig. 10
@@ -119,6 +125,8 @@ subcommands:
 common flags: -threads N (default 2), -ops N (default 2), -vals 1,2, -max-states N,
               -workers N (exploration workers; 0 = all cores, 1 = sequential —
               results are identical for any value),
+              -refiner auto|signature|splitter (branching-bisimulation refinement
+              algorithm — partitions and verdicts are identical for any choice),
               -model file.bbvl (verify a BBVL model instead of a registry algorithm)`)
 }
 
@@ -141,6 +149,7 @@ type commonFlags struct {
 	vals      *string
 	maxStates *int
 	workers   *int
+	refiner   *string
 	model     *string
 	// modelSrc holds the -model file's source after resolve, so check
 	// -json can forward it as a model_source job.
@@ -156,6 +165,7 @@ func newFlags(name string) *commonFlags {
 		vals:      fs.String("vals", "", "comma-separated value universe (default algorithm-specific)"),
 		maxStates: fs.Int("max-states", 0, "state budget (0 = default)"),
 		workers:   fs.Int("workers", 0, "exploration workers (0 = all cores, 1 = sequential)"),
+		refiner:   fs.String("refiner", "auto", "branching-bisimulation refiner: auto, signature or splitter — verdicts are identical for any choice"),
 		model:     fs.String("model", "", "verify a BBVL model file instead of a registry algorithm"),
 	}
 }
@@ -202,8 +212,12 @@ func (c *commonFlags) resolve() (*algorithms.Algorithm, algorithms.Config, core.
 	if err != nil {
 		return nil, algorithms.Config{}, core.Config{}, err
 	}
+	ref, err := bisim.ParseRefiner(*c.refiner)
+	if err != nil {
+		return nil, algorithms.Config{}, core.Config{}, fmt.Errorf("bad -refiner: %w", err)
+	}
 	acfg := algorithms.Config{Threads: *c.threads, Ops: *c.ops, Vals: vals}
-	ccfg := core.Config{Threads: *c.threads, Ops: *c.ops, MaxStates: *c.maxStates, Workers: *c.workers}
+	ccfg := core.Config{Threads: *c.threads, Ops: *c.ops, MaxStates: *c.maxStates, Workers: *c.workers, Refiner: ref}
 	return alg, acfg, ccfg, nil
 }
 
@@ -254,6 +268,7 @@ func check(args []string) error {
 		Ops:       ccfg.Ops,
 		MaxStates: ccfg.MaxStates,
 		Workers:   ccfg.Workers,
+		Refiner:   *cf.refiner,
 		Vals:      acfg.Vals,
 		Checks:    checks,
 	}
@@ -316,6 +331,10 @@ func check(args []string) error {
 			if !lin.Linearizable {
 				fmt.Println("non-linearizable history:")
 				fmt.Print(indent(lin.Counterexample.Format()))
+				if lin.Distinguishing != nil {
+					fmt.Println("quotient distinguishing experiment:")
+					fmt.Print(indent(lin.Distinguishing.Format()))
+				}
 			}
 		case api.CheckDeadlock:
 			dl, err := sess.CheckDeadlockFree(impl)
@@ -401,7 +420,10 @@ func exploreCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	q, p := bisim.ReduceBranching(l)
+	q, p, err := bisim.ReduceBranchingWithRefiner(context.Background(), l, ccfg.Refiner)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%s (%d threads x %d ops)\n", alg.Display, ccfg.Threads, ccfg.Ops)
 	fmt.Printf("states:       %d\n", l.NumStates())
 	fmt.Printf("transitions:  %d (%d tau)\n", l.NumTransitions(), l.CountTau())
@@ -451,7 +473,10 @@ func ktraceCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	q, _ := bisim.ReduceBranching(l)
+	q, _, err := bisim.ReduceBranchingWithRefiner(context.Background(), l, ccfg.Refiner)
+	if err != nil {
+		return err
+	}
 	an := ktrace.Analyze(q, *maxK)
 	cls := ktrace.Classify(q, an)
 	fmt.Printf("%s (%d threads x %d ops): %d states, quotient %d\n",
@@ -489,8 +514,14 @@ func compareCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	implQ, _ := bisim.ReduceBranching(impl)
-	specQ, _ := bisim.ReduceBranching(specLTS)
+	implQ, _, err := bisim.ReduceBranchingWithRefiner(context.Background(), impl, ccfg.Refiner)
+	if err != nil {
+		return err
+	}
+	specQ, _, err := bisim.ReduceBranchingWithRefiner(context.Background(), specLTS, ccfg.Refiner)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("== %s vs specification (%d threads x %d ops) ==\n", alg.Display, ccfg.Threads, ccfg.Ops)
 	fmt.Printf("object: %d states (quotient %d)   spec: %d states (quotient %d)\n",
 		impl.NumStates(), implQ.NumStates(), specLTS.NumStates(), specQ.NumStates())
@@ -510,10 +541,65 @@ func compareCmd(args []string) error {
 		}
 		fmt.Printf("%-35s %v\n", k.String()+" bisimilar:", eq)
 	}
-	if exp, bad, err := bisim.Explain(implQ, specQ, bisim.KindBranching); err == nil && bad {
+	exp, bad, err := bisim.Explain(implQ, specQ, bisim.KindBranching)
+	if err != nil {
+		return fmt.Errorf("explaining the quotient difference: %w", err)
+	}
+	if bad {
 		fmt.Println()
 		fmt.Print(exp.Format())
 	}
+	return nil
+}
+
+// explainCmd prints a shortest distinguishing experiment between an
+// object and its specification, or reports bisimilarity. The experiment
+// is extracted from the splitting tree of the refinement, mapped back to
+// states of the two explored systems, and replay-verified before
+// printing — a failed replay is an engine bug and aborts the command.
+func explainCmd(args []string) error {
+	cf := newFlags("explain")
+	kindFlag := cf.fs.String("kind", "branching", "bisimulation notion to explain: branching or div-branching")
+	alg, acfg, ccfg, err := cf.parse(args)
+	if err != nil {
+		return err
+	}
+	var kind bisim.Kind
+	switch *kindFlag {
+	case "branching":
+		kind = bisim.KindBranching
+	case "div-branching":
+		kind = bisim.KindDivBranching
+	default:
+		return fmt.Errorf("unknown -kind %q (want branching or div-branching)", *kindFlag)
+	}
+	acts := lts.NewAlphabet()
+	labels := lts.NewAlphabet()
+	opts := machine.Options{Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates, Workers: ccfg.Workers, Acts: acts, Labels: labels}
+	impl, err := machine.Explore(alg.Build(acfg), opts)
+	if err != nil {
+		return err
+	}
+	specLTS, err := machine.Explore(alg.Spec(acfg), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s vs specification (%d threads x %d ops, %s) ==\n", alg.Display, ccfg.Threads, ccfg.Ops, kind)
+	fmt.Printf("object: %d states   spec: %d states\n", impl.NumStates(), specLTS.NumStates())
+	exp, bad, err := bisim.Explain(impl, specLTS, kind)
+	if err != nil {
+		return err
+	}
+	if !bad {
+		fmt.Printf("the systems are %s bisimilar; there is no distinguishing experiment\n", kind)
+		return nil
+	}
+	if err := exp.Verify(impl, specLTS); err != nil {
+		return fmt.Errorf("internal error: extracted experiment fails replay: %w", err)
+	}
+	fmt.Println()
+	fmt.Print(exp.Format())
+	fmt.Println("experiment verified by replay on both systems")
 	return nil
 }
 
@@ -584,7 +670,10 @@ func sweepCmd(args []string) error {
 			}
 			return err
 		}
-		q, _ := bisim.ReduceBranching(l)
+		q, _, err := bisim.ReduceBranchingWithRefiner(context.Background(), l, ccfg.Refiner)
+		if err != nil {
+			return err
+		}
 		lf := "-"
 		if !alg.LockBased {
 			if _, cyc := lts.HasTauCycle(l); cyc {

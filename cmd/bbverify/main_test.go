@@ -309,3 +309,93 @@ func TestRunCheckSpecFile(t *testing.T) {
 		t.Error("-spec with positional algorithm must error")
 	}
 }
+
+// TestRunExplain exercises the explain subcommand end to end: a buggy
+// object yields a replay-verified distinguishing experiment, a correct
+// one reports bisimilarity (the Treiber stack is branching bisimilar to
+// its specification at 2x1), and bad flags error.
+func TestRunExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"explain", "-threads", "2", "-ops", "2", "hm-list-buggy"})
+	})
+	for _, want := range []string{
+		"not branching bisimilar",
+		"shortest distinguishing experiment",
+		"experiment verified by replay",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	out = captureStdout(t, func() error {
+		return run([]string{"explain", "-threads", "2", "-ops", "1", "treiber"})
+	})
+	if !strings.Contains(out, "bisimilar; there is no distinguishing experiment") {
+		t.Errorf("explain on an equivalent pair should report bisimilarity:\n%s", out)
+	}
+	if err := run([]string{"explain", "-kind", "nope", "treiber"}); err == nil {
+		t.Error("unknown -kind must error")
+	}
+	if err := run([]string{"explain"}); err == nil {
+		t.Error("missing algorithm must error")
+	}
+}
+
+// TestRunRefinerFlag pins the -refiner knob: both explicit refiners (and
+// auto) produce identical human check output, and a bad name errors.
+func TestRunRefinerFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	outputs := make(map[string]string)
+	for _, ref := range []string{"auto", "signature", "splitter"} {
+		outputs[ref] = captureStdout(t, func() error {
+			return run([]string{"check", "-threads", "2", "-ops", "1", "-refiner", ref, "treiber"})
+		})
+	}
+	if outputs["signature"] != outputs["splitter"] || outputs["auto"] != outputs["signature"] {
+		t.Errorf("check output differs across refiners:\n--auto--\n%s--signature--\n%s--splitter--\n%s",
+			outputs["auto"], outputs["signature"], outputs["splitter"])
+	}
+	if err := run([]string{"check", "-refiner", "bogus", "treiber"}); err == nil {
+		t.Error("unknown -refiner must error")
+	}
+}
+
+// TestRunCheckPrintsExperiment: a failed linearizability check prints
+// the quotient distinguishing experiment next to the counterexample
+// history.
+func TestRunCheckPrintsExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"check", "-threads", "2", "-ops", "2", "hm-list-buggy"})
+	})
+	if !strings.Contains(out, "non-linearizable history:") {
+		t.Fatalf("check must print the counterexample:\n%s", out)
+	}
+	if !strings.Contains(out, "quotient distinguishing experiment:") ||
+		!strings.Contains(out, "shortest distinguishing experiment") {
+		t.Errorf("check must print the distinguishing experiment:\n%s", out)
+	}
+}
+
+// TestRunCompareSurfacesExplainOutcome: compare prints the experiment on
+// inequivalent quotients. (The error path of bisim.Explain is now
+// propagated rather than silently swallowed; if extraction ever failed,
+// this run would fail loudly instead of printing a truncated report.)
+func TestRunCompareSurfacesExplainOutcome(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration-heavy")
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"compare", "-threads", "2", "-ops", "2", "hm-list-buggy"})
+	})
+	if !strings.Contains(out, "not branching bisimilar") {
+		t.Errorf("compare on a buggy object should explain the inequivalence:\n%s", out)
+	}
+}

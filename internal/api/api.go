@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/bbvl"
+	"repro/internal/bisim"
 	"repro/internal/core"
 	"repro/internal/ktrace"
 	"repro/internal/lts"
@@ -52,6 +53,12 @@ type JobSpec struct {
 	// Workers is the exploration worker count (0 = all cores); it never
 	// changes the result, only wall-clock time.
 	Workers int `json:"workers,omitempty"`
+	// Refiner selects the branching-bisimulation refinement algorithm:
+	// "signature", "splitter" or "auto" (the default, also for ""). Like
+	// Workers it tunes execution only — the two refiners produce
+	// byte-identical partitions (a property the cross-refiner test suite
+	// pins on every packaged instance), so it does not enter the cache key.
+	Refiner string `json:"refiner,omitempty"`
 	// Vals overrides the data-value universe (nil = the registry default
 	// {1, 2}).
 	Vals []int32 `json:"vals,omitempty"`
@@ -220,6 +227,9 @@ func (s *JobSpec) Validate() error {
 	if s.MaxStates < 0 || s.Workers < 0 || s.TimeoutMS < 0 {
 		return fmt.Errorf("api: max_states, workers and timeout_ms must be non-negative")
 	}
+	if _, err := bisim.ParseRefiner(s.Refiner); err != nil {
+		return fmt.Errorf("api: %w", err)
+	}
 	if s.ModelSource != "" && s.Algorithm != "" {
 		return fmt.Errorf("api: algorithm and model_source are mutually exclusive")
 	}
@@ -251,7 +261,11 @@ func (s *JobSpec) Validate() error {
 // threads, ops, the effective state budget and the effective value
 // universe. Workers is deliberately excluded (the explorer produces a
 // byte-identical LTS for every worker count), as is TimeoutMS (a timeout
-// either cancels the job or leaves the result untouched). Defaulted
+// either cancels the job or leaves the result untouched) and Refiner
+// (both refiners compute byte-identical partitions — same block
+// numbering, counts and rounds — a property the cross-refiner tests pin
+// on every packaged instance, so the verdict and every size field are
+// refiner-independent). Defaulted
 // fields are normalized first, so {MaxStates: 0} and {MaxStates:
 // machine.DefaultMaxStates} — and nil Vals versus the explicit default
 // {1, 2} — hash identically. For model jobs the full model source is
@@ -300,7 +314,8 @@ func (s JobSpec) algorithmConfig() algorithms.Config {
 }
 
 func (s JobSpec) coreConfig() core.Config {
-	return core.Config{Threads: s.Threads, Ops: s.Ops, MaxStates: s.MaxStates, Workers: s.Workers}
+	ref, _ := bisim.ParseRefiner(s.Refiner) // Validate already vetted the name
+	return core.Config{Threads: s.Threads, Ops: s.Ops, MaxStates: s.MaxStates, Workers: s.Workers, Refiner: ref}
 }
 
 // PathJSON is a diagnostic path (divergence lasso or deadlock witness) in
@@ -310,6 +325,22 @@ func (s JobSpec) coreConfig() core.Config {
 type PathJSON struct {
 	Steps      []string `json:"steps"`
 	CycleStart int      `json:"cycle_start"`
+}
+
+// ExperimentJSON is a distinguishing experiment (bisim.Explanation) in
+// wire form: the bisimulation notion, the refinement round at which the
+// initial states separate, and one rendered line per experiment step.
+type ExperimentJSON struct {
+	Kind  string   `json:"kind"`
+	Round int      `json:"round"`
+	Steps []string `json:"steps"`
+}
+
+func experimentJSON(e *bisim.Explanation) *ExperimentJSON {
+	if e == nil {
+		return nil
+	}
+	return &ExperimentJSON{Kind: e.Kind.String(), Round: e.Round, Steps: e.StepStrings()}
 }
 
 func pathJSON(p *lts.Path) *PathJSON {
@@ -340,17 +371,21 @@ type CheckResult struct {
 	Linearizable bool `json:"linearizable"`
 	// LinCounterexample is a non-linearizable history; its last action is
 	// the one the specification cannot match.
-	LinCounterexample  []string  `json:"linearizability_counterexample,omitempty"`
-	ImplStates         int       `json:"impl_states"`
-	SpecStates         int       `json:"spec_states"`
-	ImplQuotientStates int       `json:"impl_quotient_states"`
-	SpecQuotientStates int       `json:"spec_quotient_states"`
-	LockBased          bool      `json:"lock_based"`
-	LockFree           *bool     `json:"lock_free,omitempty"`
-	LockFreeTheorem    string    `json:"lock_free_theorem,omitempty"`
-	Divergence         *PathJSON `json:"divergence,omitempty"`
-	DeadlockFree       *bool     `json:"deadlock_free,omitempty"`
-	DeadlockWitness    *PathJSON `json:"deadlock_witness,omitempty"`
+	LinCounterexample []string `json:"linearizability_counterexample,omitempty"`
+	// Distinguishing is a shortest distinguishing experiment between the
+	// two quotients on a negative linearizability verdict: the play that
+	// shows where their branching structures part ways.
+	Distinguishing     *ExperimentJSON `json:"distinguishing,omitempty"`
+	ImplStates         int             `json:"impl_states"`
+	SpecStates         int             `json:"spec_states"`
+	ImplQuotientStates int             `json:"impl_quotient_states"`
+	SpecQuotientStates int             `json:"spec_quotient_states"`
+	LockBased          bool            `json:"lock_based"`
+	LockFree           *bool           `json:"lock_free,omitempty"`
+	LockFreeTheorem    string          `json:"lock_free_theorem,omitempty"`
+	Divergence         *PathJSON       `json:"divergence,omitempty"`
+	DeadlockFree       *bool           `json:"deadlock_free,omitempty"`
+	DeadlockWitness    *PathJSON       `json:"deadlock_witness,omitempty"`
 }
 
 // ExploreResult is the "explore" analysis: state-space and quotient sizes.
@@ -528,6 +563,7 @@ func runCheck(ctx context.Context, sess *core.Session, alg *algorithms.Algorithm
 			if lin.Counterexample != nil {
 				out.LinCounterexample = lin.Counterexample.Trace
 			}
+			out.Distinguishing = experimentJSON(lin.Distinguishing)
 		case CheckLockFree:
 			lf, err := sess.CheckLockFreeAutoContext(ctx, impl)
 			if err != nil {

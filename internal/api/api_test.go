@@ -150,3 +150,52 @@ func TestRunCanceled(t *testing.T) {
 		t.Fatalf("error %v must carry machine.CanceledError", err)
 	}
 }
+
+// TestCacheKeyRefinerIndependent pins the refiner half of the cache-key
+// contract: both refiners compute byte-identical partitions (the
+// CrossRefiner suite proves it per instance), so specs differing only in
+// Refiner MUST share a cache key, and an invalid name must fail
+// validation rather than silently run.
+func TestCacheKeyRefinerIndependent(t *testing.T) {
+	base := JobSpec{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 2}
+	key := base.CacheKey()
+	for _, ref := range []string{"", "auto", "signature", "splitter"} {
+		s := base
+		s.Refiner = ref
+		if got := s.CacheKey(); got != key {
+			t.Errorf("Refiner=%q changed the cache key", ref)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("Refiner=%q must validate: %v", ref, err)
+		}
+	}
+	bad := base
+	bad.Refiner = "bogus"
+	if err := bad.Validate(); err == nil {
+		t.Error("an unknown refiner name must fail validation")
+	}
+}
+
+// TestRunCheckCarriesExperiment: a failing linearizability job carries
+// the distinguishing experiment between the quotients in the wire
+// result, alongside the trace counterexample.
+func TestRunCheckCarriesExperiment(t *testing.T) {
+	res, err := Run(context.Background(), JobSpec{Kind: KindCheck, Algorithm: "hm-list-buggy", Threads: 2, Ops: 2, Refiner: "splitter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Check.Linearizable {
+		t.Fatal("the buggy HM list must not be linearizable")
+	}
+	exp := res.Check.Distinguishing
+	if exp == nil || exp.Kind != "branching" || exp.Round < 1 || len(exp.Steps) == 0 || len(exp.Steps) > exp.Round {
+		t.Fatalf("failing check must carry a well-formed experiment, got %+v", exp)
+	}
+	pass, err := Run(context.Background(), JobSpec{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass.Check.Distinguishing != nil {
+		t.Error("a passing check must not carry an experiment")
+	}
+}

@@ -60,8 +60,10 @@ func Branching(l *lts.LTS) *Partition {
 
 // BranchingContext is Branching with cancellation: the refinement loop
 // polls ctx once per round and returns a *CanceledError when it is done.
+// The refiner is chosen automatically (RefinerAuto); the choice never
+// affects the result — see Refiner.
 func BranchingContext(ctx context.Context, l *lts.LTS) (*Partition, error) {
-	return branching(ctx, l, false)
+	return branching(ctx, l, false, RefinerAuto)
 }
 
 // DivergenceSensitiveBranching computes the divergence-sensitive branching
@@ -74,10 +76,10 @@ func DivergenceSensitiveBranching(l *lts.LTS) *Partition {
 // DivergenceSensitiveBranchingContext is DivergenceSensitiveBranching
 // with cancellation.
 func DivergenceSensitiveBranchingContext(ctx context.Context, l *lts.LTS) (*Partition, error) {
-	return branching(ctx, l, true)
+	return branching(ctx, l, true, RefinerAuto)
 }
 
-func branching(ctx context.Context, l *lts.LTS, divSensitive bool) (*Partition, error) {
+func branching(ctx context.Context, l *lts.LTS, divSensitive bool, ref Refiner) (*Partition, error) {
 	if divSensitive {
 		checkDivergenceReserve(l.Acts.Len())
 	}
@@ -92,7 +94,13 @@ func branching(ctx context.Context, l *lts.LTS, divSensitive bool) (*Partition, 
 			}
 		}
 	}
-	cp, err := branchingOnDAG(ctx, collapsed, divergent)
+	var cp *Partition
+	var err error
+	if resolveRefiner(ref, collapsed) == RefinerSplitter {
+		cp, _, err = splitterOnDAG(ctx, collapsed, divergent)
+	} else {
+		cp, err = branchingOnDAG(ctx, collapsed, divergent)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,238 @@
+package bisim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lts"
+)
+
+// samePartition reports whether the two partitions are byte-identical —
+// same block IDs (not merely the same equivalence), same block count,
+// same number of refinement rounds. The splitter refiner canonicalizes
+// block IDs by first state occurrence, exactly like signature interning,
+// so the stronger identity must hold (it is what justifies leaving the
+// refiner choice out of the API cache key).
+func samePartition(a, b *Partition) bool {
+	if a.Num != b.Num || a.Rounds != b.Rounds || len(a.BlockOf) != len(b.BlockOf) {
+		return false
+	}
+	for i := range a.BlockOf {
+		if a.BlockOf[i] != b.BlockOf[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refinerPair computes the partition of l under both refiners.
+func refinerPair(t *testing.T, l *lts.LTS, div bool) (*Partition, *Partition) {
+	t.Helper()
+	ctx := context.Background()
+	run := func(ref Refiner) *Partition {
+		var p *Partition
+		var err error
+		if div {
+			p, err = DivergenceSensitiveBranchingWithRefiner(ctx, l, ref)
+		} else {
+			p, err = BranchingWithRefiner(ctx, l, ref)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	return run(RefinerSignature), run(RefinerSplitter)
+}
+
+// TestCrossRefinerPartitionsIdentical: on random systems with τ-cycles,
+// the splitter and signature refiners produce byte-identical partitions
+// for both branching and divergence-sensitive branching bisimulation.
+func TestCrossRefinerPartitionsIdentical(t *testing.T) {
+	prop := func(seed int64) bool {
+		l := quickLTS(seed)
+		for _, div := range []bool{false, true} {
+			sig, spl := refinerPair(t, l, div)
+			if !samePartition(sig, spl) {
+				t.Logf("seed %d div=%v: signature %d blocks/%d rounds, splitter %d blocks/%d rounds",
+					seed, div, sig.Num, sig.Rounds, spl.Num, spl.Rounds)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossRefinerTauAcyclic repeats the cross-validation on systems
+// whose τ graph is a DAG (every edge goes forward), so the τ-SCC
+// collapse is the identity and the refiners run on the raw system.
+func TestCrossRefinerTauAcyclic(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		acts := lts.NewAlphabet()
+		names := []string{lts.TauName, lts.TauName, "a", "b"}
+		n := 2 + r.Intn(12)
+		b := lts.NewBuilder(acts)
+		b.SetInit(0)
+		b.AddStates(n)
+		for i := 0; i < 1+r.Intn(3*n); i++ {
+			src := r.Intn(n - 1)
+			b.Add(src, names[r.Intn(len(names))], src+1+r.Intn(n-1-src))
+		}
+		l := b.Build()
+		if _, cyc := lts.HasTauCycle(l); cyc {
+			t.Fatalf("seed %d: forward-edge construction produced a τ-cycle", seed)
+		}
+		for _, div := range []bool{false, true} {
+			sig, spl := refinerPair(t, l, div)
+			if !samePartition(sig, spl) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossRefinerWitnessDistinguishes: whenever two random systems are
+// inequivalent, the splitter-derived experiment replays on the original
+// systems and genuinely distinguishes the initial states.
+func TestCrossRefinerWitnessDistinguishes(t *testing.T) {
+	found := 0
+	for seed := int64(0); seed < 120; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		acts := lts.NewAlphabet()
+		names := []string{lts.TauName, "a", "b"}
+		build := func() *lts.LTS {
+			n := 2 + r.Intn(8)
+			bl := lts.NewBuilder(acts)
+			bl.SetInit(0)
+			bl.AddStates(n)
+			for i := 0; i < 1+r.Intn(2*n); i++ {
+				bl.Add(r.Intn(n), names[r.Intn(len(names))], r.Intn(n))
+			}
+			return bl.Build()
+		}
+		a, b := build(), build()
+		for _, k := range []Kind{KindBranching, KindDivBranching} {
+			exp, bad, err := Explain(a, b, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bad {
+				continue
+			}
+			found++
+			if err := exp.Verify(a, b); err != nil {
+				t.Fatalf("seed %d kind %v: experiment does not replay: %v\n%s", seed, k, err, exp.Format())
+			}
+			if len(exp.Experiment) == 0 || len(exp.Experiment) > exp.Round {
+				t.Fatalf("seed %d kind %v: %d steps for round %d", seed, k, len(exp.Experiment), exp.Round)
+			}
+		}
+	}
+	if found < 20 {
+		t.Fatalf("only %d inequivalent pairs among the random seeds; test is vacuous", found)
+	}
+}
+
+// TestCrossRefinerSigTableResetBounded: after a round that interns a
+// huge number of large signatures, reset must not keep the peak storage
+// alive forever (the regression this pins: the free list and bucket map
+// used to retain every key buffer from the largest round).
+func TestCrossRefinerSigTableResetBounded(t *testing.T) {
+	tbl := newSigTable(16)
+	sig := make([]uint64, 512) // 4 KiB keys
+	for i := range sig {
+		sig[i] = uint64(i) << 17
+	}
+	big := 4 * bucketShrinkSlack
+	for i := 0; i < big; i++ {
+		sig[0] = uint64(i)
+		tbl.blockFor(0, sig)
+	}
+	// A small round follows: reset sees far fewer blocks than buckets and
+	// must rebuild rather than pin the peak map.
+	tbl.reset()
+	tbl.blockFor(0, sig[:4])
+	tbl.reset()
+	if got := len(tbl.buckets); got > 2+bucketShrinkSlack {
+		t.Fatalf("bucket map kept %d entries after a 1-block round (slack %d)", got, bucketShrinkSlack)
+	}
+	if tbl.freeBytes > maxFreeKeyBytes {
+		t.Fatalf("free list holds %d bytes, cap is %d", tbl.freeBytes, maxFreeKeyBytes)
+	}
+	// Steady state: repeated large rounds never exceed the byte cap.
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 200; i++ {
+			sig[0] = uint64(round*1000 + i)
+			tbl.blockFor(0, sig)
+		}
+		tbl.reset()
+		if tbl.freeBytes > maxFreeKeyBytes {
+			t.Fatalf("round %d: free list holds %d bytes, cap is %d", round, tbl.freeBytes, maxFreeKeyBytes)
+		}
+		total := 0
+		for _, buf := range tbl.free {
+			total += cap(buf)
+		}
+		if total != tbl.freeBytes {
+			t.Fatalf("round %d: freeBytes accounting drifted: counted %d, actual %d", round, tbl.freeBytes, total)
+		}
+	}
+}
+
+// BenchmarkSplitterRefine exercises the splitter refiner on a mid-sized
+// random system; CI runs it once as a smoke test.
+func BenchmarkSplitterRefine(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	acts := lts.NewAlphabet()
+	names := []string{lts.TauName, lts.TauName, "a", "b", "c", "d"}
+	n := 20000
+	bl := lts.NewBuilder(acts)
+	bl.SetInit(0)
+	bl.AddStates(n)
+	for i := 0; i < 3*n; i++ {
+		bl.Add(r.Intn(n), names[r.Intn(len(names))], r.Intn(n))
+	}
+	l := bl.Build()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BranchingWithRefiner(ctx, l, RefinerSplitter); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignatureRefine is the matching baseline for the comparison
+// reported in EXPERIMENTS.md.
+func BenchmarkSignatureRefine(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	acts := lts.NewAlphabet()
+	names := []string{lts.TauName, lts.TauName, "a", "b", "c", "d"}
+	n := 20000
+	bl := lts.NewBuilder(acts)
+	bl.SetInit(0)
+	bl.AddStates(n)
+	for i := 0; i < 3*n; i++ {
+		bl.Add(r.Intn(n), names[r.Intn(len(names))], r.Intn(n))
+	}
+	l := bl.Build()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BranchingWithRefiner(ctx, l, RefinerSignature); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,12 +19,20 @@ func TestExplainVisibleDifference(t *testing.T) {
 	if !ok {
 		t.Fatal("systems differ, Explain should report it")
 	}
-	joined := strings.Join(exp.LeftOnly, " ") + "|" + strings.Join(exp.RightOnly, " ")
-	if !strings.Contains(joined, "perform x") || !strings.Contains(joined, "perform y") {
-		t.Fatalf("explanation misses the actions: %s", exp.Format())
-	}
 	if exp.Round != 1 {
 		t.Fatalf("round = %d, want 1", exp.Round)
+	}
+	if len(exp.Experiment) != 1 || !exp.Experiment[0].Final {
+		t.Fatalf("want a single final step, got %+v", exp.Experiment)
+	}
+	if got := exp.Experiment[0].Action; got != "x" && got != "y" {
+		t.Fatalf("final action = %q, want x or y", got)
+	}
+	if !strings.Contains(exp.Format(), "perform") {
+		t.Fatalf("explanation misses the action: %s", exp.Format())
+	}
+	if err := exp.Verify(a, b); err != nil {
+		t.Fatalf("experiment does not replay: %v", err)
 	}
 }
 
@@ -44,6 +52,9 @@ func TestExplainDivergence(t *testing.T) {
 	}
 	if !strings.Contains(exp.Format(), "diverge") {
 		t.Fatalf("explanation should mention divergence:\n%s", exp.Format())
+	}
+	if err := exp.Verify(a, b); err != nil {
+		t.Fatalf("experiment does not replay: %v", err)
 	}
 }
 
@@ -66,6 +77,17 @@ func TestExplainDeeperRound(t *testing.T) {
 	if exp.Round < 2 {
 		t.Fatalf("round = %d, want >= 2", exp.Round)
 	}
+	if got := len(exp.Experiment); got == 0 || got > exp.Round {
+		t.Fatalf("experiment has %d steps for separation round %d", got, exp.Round)
+	}
+	if err := exp.Verify(a, b); err != nil {
+		t.Fatalf("experiment does not replay: %v", err)
+	}
+	// The shortest experiment here is: perform a (right commits to one
+	// branch), then the branch action only the left still has.
+	if !exp.Experiment[0].LeftLeads && exp.Experiment[0].Action == "" {
+		t.Fatalf("first step should perform a visible action: %+v", exp.Experiment[0])
+	}
 }
 
 func TestExplainRejectsUnsupportedKinds(t *testing.T) {
@@ -81,7 +103,8 @@ func TestExplainRejectsUnsupportedKinds(t *testing.T) {
 }
 
 // TestExplainAgreesWithEquivalent: Explain(a,b) reports inequivalence
-// exactly when Equivalent(a,b) is false.
+// exactly when Equivalent(a,b) is false, and every reported experiment
+// replays on the two systems.
 func TestExplainAgreesWithEquivalent(t *testing.T) {
 	for seed := int64(0); seed < 50; seed++ {
 		r := rand.New(rand.NewSource(seed))
@@ -103,12 +126,20 @@ func TestExplainAgreesWithEquivalent(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, reported, err := Explain(a, b, k)
+			exp, reported, err := Explain(a, b, k)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if reported == eq {
 				t.Fatalf("seed %d kind %v: Equivalent=%v but Explain reported inequivalence=%v", seed, k, eq, reported)
+			}
+			if reported {
+				if err := exp.Verify(a, b); err != nil {
+					t.Fatalf("seed %d kind %v: experiment does not replay: %v\n%s", seed, k, err, exp.Format())
+				}
+				if len(exp.Experiment) == 0 || len(exp.Experiment) > exp.Round {
+					t.Fatalf("seed %d kind %v: %d steps for separation round %d", seed, k, len(exp.Experiment), exp.Round)
+				}
 			}
 		}
 	}

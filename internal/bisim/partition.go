@@ -53,11 +53,25 @@ func uniform(n int) *Partition {
 // past its high-water mark — not once per newly discovered block per
 // round, as a map[string]int32 rebuild would.
 type sigTable struct {
-	buckets map[uint64][]sigEntry
-	n       int32
-	buf     []byte
-	free    [][]byte // key buffers recycled by reset for reuse
+	buckets   map[uint64][]sigEntry
+	n         int32
+	buf       []byte
+	free      [][]byte // key buffers recycled by reset for reuse
+	freeBytes int      // total capacity of the buffers in free
 }
+
+// Bounds on the storage reset keeps alive for reuse, so one huge round
+// does not pin its peak key storage and bucket map for every later round
+// (and, through long-lived tables, for the rest of a process).
+const (
+	// maxFreeKeyBytes caps the recycled key-buffer bytes surviving a
+	// reset; buffers beyond the cap are dropped for the GC.
+	maxFreeKeyBytes = 1 << 20
+	// bucketShrinkSlack is how many map entries beyond the last round's
+	// block count reset tolerates before rebuilding the bucket map (Go
+	// maps never shrink on their own).
+	bucketShrinkSlack = 1 << 10
+)
 
 type sigEntry struct {
 	key []byte
@@ -96,7 +110,10 @@ func (t *sigTable) blockFor(curBlock int32, sig []uint64) int32 {
 	t.n++
 	var key []byte
 	if n := len(t.free); n > 0 {
-		key, t.free = append(t.free[n-1][:0], t.buf...), t.free[:n-1]
+		recycled := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.freeBytes -= cap(recycled)
+		key = append(recycled[:0], t.buf...)
 	} else {
 		key = append([]byte(nil), t.buf...)
 	}
@@ -108,11 +125,26 @@ func (t *sigTable) blockFor(curBlock int32, sig []uint64) int32 {
 func (t *sigTable) len() int { return int(t.n) }
 
 // reset empties the table for the next round, keeping bucket slices and
-// key buffers for reuse.
+// key buffers for reuse — but only up to the maxFreeKeyBytes /
+// bucketShrinkSlack bounds, so a one-off huge round cannot pin its peak
+// storage forever.
 func (t *sigTable) reset() {
+	if len(t.buckets) > 2*int(t.n)+bucketShrinkSlack {
+		// Far more distinct hashes than the last round had blocks: the
+		// map is a leftover from a much bigger round. Rebuild it at the
+		// size actually needed and drop the recycled buffers with it.
+		t.buckets = make(map[uint64][]sigEntry, t.n)
+		t.free = nil
+		t.freeBytes = 0
+		t.n = 0
+		return
+	}
 	for h, bucket := range t.buckets {
 		for i := range bucket {
-			t.free = append(t.free, bucket[i].key)
+			if c := cap(bucket[i].key); t.freeBytes+c <= maxFreeKeyBytes {
+				t.free = append(t.free, bucket[i].key)
+				t.freeBytes += c
+			}
 		}
 		t.buckets[h] = bucket[:0]
 	}

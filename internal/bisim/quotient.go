@@ -48,7 +48,14 @@ func ReduceBranching(l *lts.LTS) (*lts.LTS, *Partition) {
 // refinement loop polls ctx and the quotient is only built when
 // refinement ran to completion.
 func ReduceBranchingContext(ctx context.Context, l *lts.LTS) (*lts.LTS, *Partition, error) {
-	p, err := BranchingContext(ctx, l)
+	return ReduceBranchingWithRefiner(ctx, l, RefinerAuto)
+}
+
+// ReduceBranchingWithRefiner is ReduceBranchingContext with an explicit
+// refiner choice; see Refiner for the guarantee that the choice never
+// changes the result.
+func ReduceBranchingWithRefiner(ctx context.Context, l *lts.LTS, ref Refiner) (*lts.LTS, *Partition, error) {
+	p, err := BranchingWithRefiner(ctx, l, ref)
 	if err != nil {
 		return nil, nil, err
 	}

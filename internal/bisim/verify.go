@@ -1,0 +1,178 @@
+package bisim
+
+import (
+	"fmt"
+
+	"repro/internal/lts"
+)
+
+// Verify replays the explanation's experiment on the two systems it was
+// extracted from and checks that it is a genuine distinguishing play:
+//
+//   - every recorded walk is a real sequence of transitions of its
+//     system, internal except for the step's action,
+//   - the sides move as the step prescribes (the follower of a visible
+//     action performs it, the leader of a challenge step stays put), and
+//   - on the final step the follower really cannot perform the action
+//     (or diverge) even after arbitrary internal steps.
+//
+// A nil error means the experiment replays and its last step separates
+// the states the two sides reached.
+func (e *Explanation) Verify(a, b *lts.LTS) error {
+	if len(e.Experiment) == 0 {
+		return fmt.Errorf("bisim: empty experiment")
+	}
+	curL, curR := a.Init, b.Init
+	for i, st := range e.Experiment {
+		if last := i == len(e.Experiment)-1; last != st.Final {
+			return fmt.Errorf("bisim: step %d: Final=%v but step is %slast", i+1, st.Final, map[bool]string{true: "", false: "not "}[last])
+		}
+		var err error
+		curL, curR, err = verifyStep(a, b, curL, curR, &st, i+1)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyStep checks one step and returns the states the sides end in.
+func verifyStep(a, b *lts.LTS, curL, curR int32, st *ExperimentStep, n int) (int32, int32, error) {
+	leaderL, leaderSys, leaderCur := st.Left, a, curL
+	followP, followSys, followCur := st.Right, b, curR
+	if !st.LeftLeads {
+		leaderL, leaderSys, leaderCur = st.Right, b, curR
+		followP, followSys, followCur = st.Left, a, curL
+	}
+	var act lts.ActionID
+	actKnown := false
+	if !st.Divergence {
+		act, actKnown = leaderSys.Acts.Lookup(st.Action)
+		if !actKnown {
+			return 0, 0, fmt.Errorf("bisim: step %d: action %q not in the leader's alphabet", n, st.Action)
+		}
+	}
+
+	switch {
+	case st.Final && st.Divergence:
+		end, err := walkPath(leaderSys, leaderCur, leaderL, lts.Tau, false, n)
+		if err != nil {
+			return 0, 0, err
+		}
+		scc := lts.TauSCCs(leaderSys)
+		if !scc.Divergent[scc.Comp[end]] {
+			return 0, 0, fmt.Errorf("bisim: step %d: leader walk ends at s%d, which is not on a τ-cycle", n, end)
+		}
+		if weakDivergesIn(followSys, followCur) {
+			return 0, 0, fmt.Errorf("bisim: step %d: follower at s%d can in fact diverge", n, followCur)
+		}
+	case st.Final:
+		if _, err := walkPath(leaderSys, leaderCur, leaderL, act, true, n); err != nil {
+			return 0, 0, err
+		}
+		if fa, ok := followSys.Acts.Lookup(st.Action); ok && weakCanDoIn(followSys, followCur, fa) {
+			return 0, 0, fmt.Errorf("bisim: step %d: follower at s%d can in fact weakly perform %s", n, followCur, st.Action)
+		}
+	case st.Challenge:
+		if len(leaderL.Moves) != 0 || leaderL.States[0] != leaderCur {
+			return 0, 0, fmt.Errorf("bisim: step %d: challenge leader must stay at s%d", n, leaderCur)
+		}
+		if _, err := walkPath(followSys, followCur, followP, lts.Tau, false, n); err != nil {
+			return 0, 0, err
+		}
+		if len(followP.Moves) == 0 {
+			return 0, 0, fmt.Errorf("bisim: step %d: challenge follower did not move", n)
+		}
+	default:
+		if _, err := walkPath(leaderSys, leaderCur, leaderL, act, true, n); err != nil {
+			return 0, 0, err
+		}
+		// The follower of a visible action must perform it; an internal
+		// step may be answered by internal steps only.
+		followAct, mustAct := act, true
+		if lts.IsTau(act) {
+			followAct, mustAct = lts.Tau, false
+		}
+		if _, err := walkPath(followSys, followCur, followP, followAct, mustAct, n); err != nil {
+			return 0, 0, err
+		}
+	}
+	return st.Left.End(), st.Right.End(), nil
+}
+
+// walkPath checks that p is a real walk of l starting at cur: internal
+// transitions throughout, except that when lastIsAct is set the final
+// transition must carry act. It returns the end state.
+func walkPath(l *lts.LTS, cur int32, p ExperimentPath, act lts.ActionID, lastIsAct bool, n int) (int32, error) {
+	if len(p.States) == 0 || p.States[0] != cur {
+		return 0, fmt.Errorf("bisim: step %d: walk does not start at s%d", n, cur)
+	}
+	if len(p.Moves) != len(p.States)-1 {
+		return 0, fmt.Errorf("bisim: step %d: walk has %d moves for %d states", n, len(p.Moves), len(p.States))
+	}
+	if lastIsAct && len(p.Moves) == 0 {
+		return 0, fmt.Errorf("bisim: step %d: walk must end with an action but has no moves", n)
+	}
+	for i := 0; i < len(p.Moves); i++ {
+		want := lts.Tau
+		if lastIsAct && i == len(p.Moves)-1 {
+			want = act
+		}
+		if !hasEdge(l, p.States[i], want, p.States[i+1]) {
+			return 0, fmt.Errorf("bisim: step %d: no transition s%d -%s-> s%d", n, p.States[i], l.Acts.Name(want), p.States[i+1])
+		}
+	}
+	return p.End(), nil
+}
+
+// hasEdge reports whether l has a transition src --act--> dst.
+func hasEdge(l *lts.LTS, src int32, act lts.ActionID, dst int32) bool {
+	if src < 0 || int(src) >= l.NumStates() {
+		return false
+	}
+	for _, tr := range l.Succ(src) {
+		if tr.Action == act && tr.Dst == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// weakCanDoIn reports whether s can perform act after arbitrary internal
+// steps of l.
+func weakCanDoIn(l *lts.LTS, s int32, act lts.ActionID) bool {
+	seen := map[int32]bool{s: true}
+	queue := []int32{s}
+	for i := 0; i < len(queue); i++ {
+		for _, tr := range l.Succ(queue[i]) {
+			if tr.Action == act {
+				return true
+			}
+			if lts.IsTau(tr.Action) && !seen[tr.Dst] {
+				seen[tr.Dst] = true
+				queue = append(queue, tr.Dst)
+			}
+		}
+	}
+	return false
+}
+
+// weakDivergesIn reports whether s reaches a τ-cycle of l via internal
+// steps.
+func weakDivergesIn(l *lts.LTS, s int32) bool {
+	scc := lts.TauSCCs(l)
+	seen := map[int32]bool{s: true}
+	queue := []int32{s}
+	for i := 0; i < len(queue); i++ {
+		if scc.Divergent[scc.Comp[queue[i]]] {
+			return true
+		}
+		for _, tr := range l.Succ(queue[i]) {
+			if lts.IsTau(tr.Action) && !seen[tr.Dst] {
+				seen[tr.Dst] = true
+				queue = append(queue, tr.Dst)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,567 @@
+package bisim
+
+import (
+	"fmt"
+
+	"repro/internal/lts"
+)
+
+// ExperimentPath is a concrete walk through one of the two compared
+// systems realizing one experiment step: zero or more internal
+// transitions and, when the side performs the step's action, that action
+// as the last transition. States are original (pre-collapse) state IDs of
+// the side's own system.
+type ExperimentPath struct {
+	// States are the visited states; States[0] is where the side stood
+	// before the step, the last entry is where it stands afterwards.
+	States []int32
+	// Moves renders the transition between consecutive States entries:
+	// the action name, with the diagnostic label appended in brackets
+	// when present. len(Moves) == len(States)-1.
+	Moves []string
+}
+
+// End returns the state the path finishes in.
+func (p *ExperimentPath) End() int32 { return p.States[len(p.States)-1] }
+
+// ExperimentStep is one move of a distinguishing experiment: one side
+// (the leader) performs an action the other side cannot fully match.
+type ExperimentStep struct {
+	// Action is the name of the performed action; lts.TauName for an
+	// effectful internal step and "" for a divergence step.
+	Action string
+	// Divergence marks the step that exhibits an infinite internal run
+	// (only under divergence-sensitive branching bisimulation).
+	Divergence bool
+	// LeftLeads reports which system performs the step.
+	LeftLeads bool
+	// Final marks the last step: the following side cannot match the
+	// action at all, even after arbitrary internal steps — a fact
+	// checkable directly on the two systems (see Verify).
+	Final bool
+	// Challenge marks a step on which the follower can only reach the
+	// action through an internal step that leaves the current equivalence
+	// class; the experiment then continues against that intermediate
+	// state, and the leader stays put.
+	Challenge bool
+	// Left and Right are the concrete walks of the two sides. On a final
+	// or challenge step the non-moving side's path has a single state and
+	// no moves.
+	Left, Right ExperimentPath
+}
+
+// witnessExtractor turns a splitting tree over the τ-SCC collapse of a
+// disjoint union into a shortest distinguishing experiment between the
+// union's two initial states.
+//
+// The extraction plays the branching-bisimulation game along the
+// refinement rounds: a pair separated first in round r has signatures
+// (w.r.t. the round-(r−1) partition) that differ in some entry (a, B).
+// The leader performs that entry — inert internal steps, then a into
+// class B — and every response of the follower lands in a configuration
+// separated in round ≤ r−1, so the game ends within r steps. At round 1
+// the signatures are weak enabledness sets, so the last step is an action
+// (or a divergence) only one side can exhibit at all.
+type witnessExtractor struct {
+	u       *lts.LTS   // original disjoint union
+	c       *lts.LTS   // its τ-SCC collapse
+	stateOf []int32    // union state → collapsed state
+	t       *splitTree // splitting tree over c
+	shift   int32      // union states ≥ shift belong to the right system
+}
+
+// experiment extracts the distinguishing steps starting from the two
+// original initial states, which must be in different leaves.
+func (w *witnessExtractor) experiment(initL, initR int32) []ExperimentStep {
+	var steps []ExperimentStep
+	curL, curR := initL, initR
+	for {
+		r := w.t.sepRound(w.stateOf[curL], w.stateOf[curR])
+		if r <= 1 {
+			steps = append(steps, w.finalStep(curL, curR))
+			return steps
+		}
+		step := w.innerStep(curL, curR, r)
+		steps = append(steps, step)
+		curL = w.sideEnd(curL, step.Left)
+		curR = w.sideEnd(curR, step.Right)
+	}
+}
+
+// sideEnd maps a side-local path end back to a union state.
+func (w *witnessExtractor) sideEnd(cur int32, p ExperimentPath) int32 {
+	end := p.End()
+	if cur >= w.shift {
+		return end + w.shift
+	}
+	return end
+}
+
+// sigAt recomputes the branching signature of collapsed state s in round
+// r, i.e. w.r.t. the partition after round r−1 (blocks are tree nodes).
+// memo must be fresh per round r.
+func (w *witnessExtractor) sigAt(s, r int32, memo map[int32][]uint64) []uint64 {
+	if sig, ok := memo[s]; ok {
+		return sig
+	}
+	sb := w.t.nodeAt(s, r-1)
+	var sig []uint64
+	for _, tr := range w.c.Succ(s) {
+		tb := w.t.nodeAt(tr.Dst, r-1)
+		if lts.IsTau(tr.Action) && tb == sb {
+			sig = append(sig, w.sigAt(tr.Dst, r, memo)...)
+			continue
+		}
+		sig = append(sig, sigPair(tr.Action, tb))
+	}
+	if w.t.divergent[s] {
+		sig = append(sig, sigPair(divergenceAction, sb))
+	}
+	sig = sortDedup(sig)
+	memo[s] = sig
+	return sig
+}
+
+// inertClosure returns the collapsed states reachable from s via τ steps
+// that stay inside s's round-(r−1) block, in deterministic BFS order
+// (including s itself).
+func (w *witnessExtractor) inertClosure(s, r int32) []int32 {
+	cls := w.t.nodeAt(s, r-1)
+	seen := map[int32]bool{s: true}
+	closure := []int32{s}
+	for i := 0; i < len(closure); i++ {
+		for _, tr := range w.c.Succ(closure[i]) {
+			if lts.IsTau(tr.Action) && !seen[tr.Dst] && w.t.nodeAt(tr.Dst, r-1) == cls {
+				seen[tr.Dst] = true
+				closure = append(closure, tr.Dst)
+			}
+		}
+	}
+	return closure
+}
+
+// weakCanDo reports whether collapsed state s can perform act after
+// arbitrary internal steps (full τ* closure).
+func (w *witnessExtractor) weakCanDo(s int32, act lts.ActionID) bool {
+	seen := map[int32]bool{s: true}
+	queue := []int32{s}
+	for i := 0; i < len(queue); i++ {
+		for _, tr := range w.c.Succ(queue[i]) {
+			if tr.Action == act {
+				return true
+			}
+			if lts.IsTau(tr.Action) && !seen[tr.Dst] {
+				seen[tr.Dst] = true
+				queue = append(queue, tr.Dst)
+			}
+		}
+	}
+	return false
+}
+
+// weakDiverges reports whether collapsed state s reaches a divergent
+// collapsed state via τ steps.
+func (w *witnessExtractor) weakDiverges(s int32) bool {
+	seen := map[int32]bool{s: true}
+	queue := []int32{s}
+	for i := 0; i < len(queue); i++ {
+		if w.t.divergent[queue[i]] {
+			return true
+		}
+		for _, tr := range w.c.Succ(queue[i]) {
+			if lts.IsTau(tr.Action) && !seen[tr.Dst] {
+				seen[tr.Dst] = true
+				queue = append(queue, tr.Dst)
+			}
+		}
+	}
+	return false
+}
+
+// response is one way the follower can answer the leader's move, together
+// with the separation round of the configuration the game continues in.
+type response struct {
+	target   int32 // collapsed state the follower ends in
+	stay     bool  // τ step answered by not moving beyond inert steps
+	crossing bool  // answer must first leave the class; continue vs target
+	round    int32 // separation round of the continuation pair
+}
+
+// innerStep builds one non-final step for a pair separated at round
+// r ≥ 2.
+func (w *witnessExtractor) innerStep(curL, curR int32, r int32) ExperimentStep {
+	cu, cv := w.stateOf[curL], w.stateOf[curR]
+	memo := make(map[int32][]uint64)
+	su := w.sigAt(cu, r, memo)
+	sv := w.sigAt(cv, r, memo)
+
+	type candidate struct {
+		entry     uint64
+		leftLeads bool
+	}
+	var cands []candidate
+	for _, e := range diffEntries(su, sv) {
+		cands = append(cands, candidate{e, true})
+	}
+	for _, e := range diffEntries(sv, su) {
+		cands = append(cands, candidate{e, false})
+	}
+
+	best := struct {
+		ok        bool
+		value     int32
+		cand      candidate
+		leaderTo  int32
+		oppAnswer response
+	}{}
+	for _, cd := range cands {
+		x, y := cu, cv
+		if !cd.leftLeads {
+			x, y = cv, cu
+		}
+		act := lts.ActionID(cd.entry >> 32)
+		T := int32(uint32(cd.entry))
+		if act == divergenceAction {
+			// Divergence flags are static, so δ entries can only differ in
+			// round 1; defensive skip.
+			continue
+		}
+		targets := w.leaderTargets(x, act, T, r)
+		responses := w.responses(x, y, act, r)
+		for _, to := range targets {
+			// The leader commits to a concrete target before the follower
+			// answers: its value is the worst response.
+			var worst response
+			worstRound := int32(-1)
+			for _, resp := range responses {
+				rr := resp.round
+				if resp.round < 0 { // round depends on the leader's target
+					rr = w.t.sepRound(to, resp.target)
+					resp.round = rr
+				}
+				if rr > worstRound {
+					worstRound = rr
+					worst = resp
+				}
+			}
+			if worstRound < 0 {
+				// No response at all can only happen in round-1 situations,
+				// which innerStep is never called for; treat as immediate win.
+				worstRound = 0
+			}
+			if !best.ok || worstRound < best.value {
+				best.ok = true
+				best.value = worstRound
+				best.cand = cd
+				best.leaderTo = to
+				best.oppAnswer = worst
+			}
+		}
+	}
+	if !best.ok {
+		// Cannot happen for a pair separated at round r ≥ 2 (their round-r
+		// signatures differ); fail loudly rather than emit a bogus witness.
+		panic(fmt.Sprintf("bisim: no distinguishing move for pair (%d,%d) at round %d", cu, cv, r))
+	}
+
+	act := lts.ActionID(best.cand.entry >> 32)
+	x, y := curL, curR
+	if !best.cand.leftLeads {
+		x, y = curR, curL
+	}
+	cls := w.t.nodeAt(w.stateOf[x], r-1)
+	leaderPath := w.origWalk(x, cls, r, act, best.leaderTo)
+	var followerPath ExperimentPath
+	challenge := false
+	switch {
+	case best.oppAnswer.crossing:
+		// The follower's only answers first leave the class; the game
+		// continues against that intermediate, the leader stays put.
+		challenge = true
+		leaderPath = w.stayPath(x)
+		followerPath = w.origWalk(y, w.t.nodeAt(w.stateOf[y], r-1), r, lts.Tau, best.oppAnswer.target)
+	case best.oppAnswer.stay:
+		followerPath = w.origWalkStay(y, w.t.nodeAt(w.stateOf[y], r-1), r, best.oppAnswer.target)
+	default:
+		followerPath = w.origWalk(y, w.t.nodeAt(w.stateOf[y], r-1), r, act, best.oppAnswer.target)
+	}
+
+	step := ExperimentStep{
+		Action:    w.u.Acts.Name(act),
+		LeftLeads: best.cand.leftLeads,
+		Challenge: challenge,
+	}
+	if best.cand.leftLeads {
+		step.Left, step.Right = leaderPath, followerPath
+	} else {
+		step.Left, step.Right = followerPath, leaderPath
+	}
+	return step
+}
+
+// leaderTargets lists the collapsed states t with x ⇒inert —act→ t and
+// block T in the round-(r−1) partition, in deterministic order.
+func (w *witnessExtractor) leaderTargets(x int32, act lts.ActionID, T int32, r int32) []int32 {
+	var targets []int32
+	seen := make(map[int32]bool)
+	for _, s := range w.inertClosure(x, r) {
+		for _, tr := range w.c.Succ(s) {
+			if tr.Action == act && !seen[tr.Dst] && w.t.nodeAt(tr.Dst, r-1) == T {
+				seen[tr.Dst] = true
+				targets = append(targets, tr.Dst)
+			}
+		}
+	}
+	return targets
+}
+
+// responses enumerates the follower's answers to the leader performing
+// act from x, per the branching transfer condition at partition level
+// r−1. Every answer's continuation pair is separated at round ≤ r−1:
+//
+//   - inert answers y ⇒inert —act→ t': continue with (leader target, t');
+//     their separation round depends on the leader's choice (round = -1).
+//   - for effectful τ, staying put: y ⇒inert y'; continue with (leader
+//     target, y') — same dependence.
+//   - for visible act performable only after leaving the class (through
+//     some effectful-τ intermediate y”): the leader challenges the
+//     intermediate and the game continues with (x, y”).
+func (w *witnessExtractor) responses(x, y int32, act lts.ActionID, r int32) []response {
+	cls := w.t.nodeAt(y, r-1)
+	closure := w.inertClosure(y, r)
+	var out []response
+	seen := make(map[int32]bool)
+	for _, s := range closure {
+		for _, tr := range w.c.Succ(s) {
+			if tr.Action == act && !seen[tr.Dst] {
+				seen[tr.Dst] = true
+				out = append(out, response{target: tr.Dst, round: -1})
+			}
+		}
+	}
+	if lts.IsTau(act) {
+		for _, s := range closure {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, response{target: s, stay: true, round: -1})
+			}
+		}
+		return out
+	}
+	// Crossing answers: an effectful τ into y'' from which act is weakly
+	// performable. The leader challenges (x, y''), whose separation round
+	// is fixed regardless of the leader's target.
+	crossSeen := make(map[int32]bool)
+	for _, s := range closure {
+		for _, tr := range w.c.Succ(s) {
+			if !lts.IsTau(tr.Action) || crossSeen[tr.Dst] || w.t.nodeAt(tr.Dst, r-1) == cls {
+				continue
+			}
+			crossSeen[tr.Dst] = true
+			if w.weakCanDo(tr.Dst, act) {
+				out = append(out, response{target: tr.Dst, crossing: true, round: w.t.sepRound(x, tr.Dst)})
+			}
+		}
+	}
+	return out
+}
+
+// finalStep builds the last step for a pair separated at round 1: the
+// weak enabledness sets (including divergence) of the two sides differ.
+func (w *witnessExtractor) finalStep(curL, curR int32) ExperimentStep {
+	cu, cv := w.stateOf[curL], w.stateOf[curR]
+	// Deterministic pick: the left side's smallest unmatched action, else
+	// the right side's; divergence only if no visible action differs.
+	pick := func(lead, follow int32) (lts.ActionID, bool, bool) {
+		for a := 0; a < w.c.Acts.Len(); a++ {
+			id := lts.ActionID(a)
+			if lts.IsTau(id) {
+				continue
+			}
+			if w.weakCanDo(lead, id) && !w.weakCanDo(follow, id) {
+				return id, false, true
+			}
+		}
+		if w.weakDiverges(lead) && !w.weakDiverges(follow) {
+			return 0, true, true
+		}
+		// Effectful τ enabledness can differ at round 1 only via
+		// divergence or visible actions (full τ* closure makes every τ
+		// inert), so one of the above always fires for a separated pair.
+		return 0, false, false
+	}
+	act, div, ok := pick(cu, cv)
+	leftLeads := true
+	if !ok {
+		act, div, ok = pick(cv, cu)
+		leftLeads = false
+	}
+	if !ok {
+		panic(fmt.Sprintf("bisim: pair (%d,%d) separated at round 1 but weak enabledness agrees", cu, cv))
+	}
+	lead := curL
+	if !leftLeads {
+		lead = curR
+	}
+	var leaderPath ExperimentPath
+	if div {
+		leaderPath = w.origWalkDiverge(lead)
+	} else {
+		leaderPath = w.origWalkWeak(lead, act)
+	}
+	step := ExperimentStep{
+		Divergence: div,
+		LeftLeads:  leftLeads,
+		Final:      true,
+	}
+	if !div {
+		step.Action = w.u.Acts.Name(act)
+	}
+	stay := w.stayPath(curR)
+	if !leftLeads {
+		stay = w.stayPath(curL)
+	}
+	if leftLeads {
+		step.Left, step.Right = leaderPath, stay
+	} else {
+		step.Left, step.Right = stay, leaderPath
+	}
+	return step
+}
+
+// local converts a union state to the side-local ID used in paths.
+func (w *witnessExtractor) local(s int32) int32 {
+	if s >= w.shift {
+		return s - w.shift
+	}
+	return s
+}
+
+// stayPath is the empty walk: the side does not move.
+func (w *witnessExtractor) stayPath(cur int32) ExperimentPath {
+	return ExperimentPath{States: []int32{w.local(cur)}}
+}
+
+// moveName renders one transition for an ExperimentPath.
+func (w *witnessExtractor) moveName(tr lts.Transition) string {
+	name := w.u.Acts.Name(tr.Action)
+	if lbl := w.u.LabelName(tr.Label); lbl != "" {
+		return name + " [" + lbl + "]"
+	}
+	return name
+}
+
+// origBFS searches the original union from cur: internal edges are
+// allowed while `inert` admits the destination's collapsed state; `goal`
+// classifies each candidate transition (taken from an admitted state) as
+// the final move. A nil goal makes reaching a state whose collapsed image
+// satisfies `done` the target without a final move. Returns the walk in
+// side-local IDs.
+func (w *witnessExtractor) origBFS(cur int32, inert func(int32) bool, goal func(lts.Transition) bool, done func(int32) bool) ExperimentPath {
+	type pred struct {
+		prev int32
+		tr   lts.Transition
+	}
+	preds := make(map[int32]pred)
+	seen := map[int32]bool{cur: true}
+	queue := []int32{cur}
+	// finish reconstructs the τ-chain to last; preds of τ-visited states
+	// are written exactly once, so the chain is cycle-free.
+	finish := func(last int32) ExperimentPath {
+		var rev []lts.Transition
+		var revState []int32
+		for s := last; s != cur; {
+			p := preds[s]
+			rev = append(rev, p.tr)
+			revState = append(revState, s)
+			s = p.prev
+		}
+		path := ExperimentPath{States: []int32{w.local(cur)}}
+		for i := len(rev) - 1; i >= 0; i-- {
+			path.Moves = append(path.Moves, w.moveName(rev[i]))
+			path.States = append(path.States, w.local(revState[i]))
+		}
+		return path
+	}
+	if done != nil && done(w.stateOf[cur]) {
+		return finish(cur)
+	}
+	for i := 0; i < len(queue); i++ {
+		s := queue[i]
+		for _, tr := range w.u.Succ(s) {
+			if goal != nil && goal(tr) {
+				// Append the final move to the τ-chain ending at s; the
+				// goal state itself never enters preds (its destination
+				// may already have been τ-visited).
+				path := finish(s)
+				path.Moves = append(path.Moves, w.moveName(tr))
+				path.States = append(path.States, w.local(tr.Dst))
+				return path
+			}
+			if !lts.IsTau(tr.Action) || seen[tr.Dst] || !inert(w.stateOf[tr.Dst]) {
+				continue
+			}
+			seen[tr.Dst] = true
+			preds[tr.Dst] = pred{prev: s, tr: tr}
+			if done != nil && done(w.stateOf[tr.Dst]) {
+				return finish(tr.Dst)
+			}
+			queue = append(queue, tr.Dst)
+		}
+	}
+	// Unreachable: collapsed-level analysis guarantees a realizing walk
+	// (states of one τ-SCC are mutually τ-reachable).
+	panic("bisim: no original walk realizes a collapsed-level move")
+}
+
+// origWalk realizes x ⇒inert —act→ (collapsed target) in the original
+// union: τ steps through components of class cls (round r−1), then one
+// act transition into a state of component target.
+func (w *witnessExtractor) origWalk(cur, cls, r int32, act lts.ActionID, target int32) ExperimentPath {
+	return w.origBFS(cur,
+		func(c int32) bool { return w.t.nodeAt(c, r-1) == cls },
+		func(tr lts.Transition) bool { return tr.Action == act && w.stateOf[tr.Dst] == target },
+		nil)
+}
+
+// origWalkStay realizes y ⇒inert y' (no action): τ steps through class
+// cls ending in component target.
+func (w *witnessExtractor) origWalkStay(cur, cls, r int32, target int32) ExperimentPath {
+	return w.origBFS(cur,
+		func(c int32) bool { return w.t.nodeAt(c, r-1) == cls },
+		nil,
+		func(c int32) bool { return c == target })
+}
+
+// origWalkWeak realizes the full-closure weak step τ* act (round-1
+// semantics: every internal step is inert).
+func (w *witnessExtractor) origWalkWeak(cur int32, act lts.ActionID) ExperimentPath {
+	return w.origBFS(cur,
+		func(int32) bool { return true },
+		func(tr lts.Transition) bool { return tr.Action == act },
+		nil)
+}
+
+// origWalkDiverge realizes τ* into a divergent component.
+func (w *witnessExtractor) origWalkDiverge(cur int32) ExperimentPath {
+	return w.origBFS(cur,
+		func(int32) bool { return true },
+		nil,
+		func(c int32) bool { return w.t.divergent[c] })
+}
+
+// diffEntries returns the signature entries of a that b lacks; inputs are
+// sorted, the output preserves order.
+func diffEntries(a, b []uint64) []uint64 {
+	inB := make(map[uint64]bool, len(b))
+	for _, p := range b {
+		inB[p] = true
+	}
+	var out []uint64
+	for _, p := range a {
+		if !inB[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -26,6 +26,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/bisim"
 	"repro/internal/lts"
 	"repro/internal/machine"
 	"repro/internal/refine"
@@ -44,6 +45,11 @@ type Config struct {
 	// sequential); the generated LTSs — and hence every verdict — are
 	// identical for any value. See machine.Options.Workers.
 	Workers int
+	// Refiner selects the branching-bisimulation partition-refinement
+	// algorithm (signature-based or splitting-tree); the zero value picks
+	// automatically by instance size. Every choice produces identical
+	// partitions and verdicts — see bisim.Refiner.
+	Refiner bisim.Refiner
 }
 
 func (c Config) options(acts, labels *lts.Alphabet) machine.Options {
@@ -75,6 +81,11 @@ type LinearizabilityResult struct {
 	// Counterexample is a non-linearizable history when the verdict is
 	// negative (e.g. the double-remove history of the buggy HM list).
 	Counterexample *refine.Counterexample
+	// Distinguishing, set on a negative verdict when the two quotients are
+	// not even branching bisimilar, is a shortest distinguishing
+	// experiment between them (a stronger diagnostic than the trace
+	// counterexample: it shows where the branching structures diverge).
+	Distinguishing *bisim.Explanation
 	// State-space sizes: the object Δ, the specification Θsp and their
 	// branching-bisimulation quotients.
 	ImplStates, SpecStates           int

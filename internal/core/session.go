@@ -42,6 +42,7 @@ type Session struct {
 	tauCycles map[*lts.LTS]*tauCycleArtifact
 	eqs       map[eqKey]*eqArtifact
 	incls     map[inclKey]*inclArtifact
+	explains  map[eqKey]*explainArtifact
 }
 
 type exploredProgram struct {
@@ -78,6 +79,12 @@ type inclArtifact struct {
 	stat StageStat
 }
 
+type explainArtifact struct {
+	exp  *bisim.Explanation // nil when the pair is bisimilar
+	bad  bool
+	stat StageStat
+}
+
 // NewSession creates an empty session for the given configuration.
 func NewSession(cfg Config) *Session {
 	return &Session{
@@ -89,6 +96,7 @@ func NewSession(cfg Config) *Session {
 		tauCycles: make(map[*lts.LTS]*tauCycleArtifact),
 		eqs:       make(map[eqKey]*eqArtifact),
 		incls:     make(map[inclKey]*inclArtifact),
+		explains:  make(map[eqKey]*explainArtifact),
 	}
 }
 
@@ -180,7 +188,7 @@ func (s *Session) quotient(ctx context.Context, r *recorder, l *lts.LTS) (*quoti
 		return a, nil
 	}
 	start := time.Now()
-	q, p, err := bisim.ReduceBranchingContext(ctx, l)
+	q, p, err := bisim.ReduceBranchingWithRefiner(ctx, l, s.cfg.Refiner)
 	if err != nil {
 		return nil, err
 	}
@@ -221,14 +229,16 @@ func (s *Session) tauCyclic(r *recorder, l *lts.LTS) bool {
 }
 
 // partitionKind dispatches to the bisim partition algorithm for kind.
-func partitionKind(ctx context.Context, l *lts.LTS, kind bisim.Kind) (*bisim.Partition, error) {
+// The branching kinds honor the configured refiner; the choice never
+// affects the partition (see bisim.Refiner).
+func partitionKind(ctx context.Context, l *lts.LTS, kind bisim.Kind, ref bisim.Refiner) (*bisim.Partition, error) {
 	switch kind {
 	case bisim.KindStrong:
 		return bisim.StrongContext(ctx, l)
 	case bisim.KindBranching:
-		return bisim.BranchingContext(ctx, l)
+		return bisim.BranchingWithRefiner(ctx, l, ref)
 	case bisim.KindDivBranching:
-		return bisim.DivergenceSensitiveBranchingContext(ctx, l)
+		return bisim.DivergenceSensitiveBranchingWithRefiner(ctx, l, ref)
 	case bisim.KindWeak:
 		return bisim.WeakContext(ctx, l)
 	case bisim.KindDivWeak:
@@ -272,7 +282,7 @@ func (s *Session) equivalent(ctx context.Context, r *recorder, a, b *lts.LTS, ki
 	if err != nil {
 		return false, err
 	}
-	p, err := partitionKind(ctx, u, kind)
+	p, err := partitionKind(ctx, u, kind, s.cfg.Refiner)
 	if err != nil {
 		return false, err
 	}
@@ -289,6 +299,38 @@ func (s *Session) equivalent(ctx context.Context, r *recorder, a, b *lts.LTS, ki
 	s.eqs[eqKey{a, b, kind}] = art
 	r.add(art.stat)
 	return eq, nil
+}
+
+// explain returns the memoized distinguishing experiment between a and b
+// under kind (nil experiment when they are bisimilar). Unlike equivalent,
+// the key is ordered: the experiment's sides name a and b. s.mu must be
+// held.
+func (s *Session) explain(ctx context.Context, r *recorder, a, b *lts.LTS, kind bisim.Kind) (*bisim.Explanation, bool, error) {
+	key := eqKey{a, b, kind}
+	if art, ok := s.explains[key]; ok {
+		r.hit(art.stat)
+		return art.exp, art.bad, nil
+	}
+	start := time.Now()
+	exp, bad, err := bisim.ExplainContext(ctx, a, b, kind)
+	if err != nil {
+		return nil, false, err
+	}
+	steps := 0
+	if exp != nil {
+		steps = len(exp.Experiment)
+	}
+	art := &explainArtifact{exp: exp, bad: bad, stat: StageStat{
+		Stage:         StageExplain,
+		Target:        fmt.Sprintf("%s %s %s", s.targetOf(a), kindTag(kind), s.targetOf(b)),
+		Elapsed:       time.Since(start),
+		StatesIn:      a.NumStates() + b.NumStates(),
+		TransitionsIn: a.NumTransitions() + b.NumTransitions(),
+		StatesOut:     steps,
+	}}
+	s.explains[key] = art
+	r.add(art.stat)
+	return exp, bad, nil
 }
 
 // traceInclusion returns the memoized trace-refinement result between
@@ -370,6 +412,20 @@ func (s *Session) EquivalentContext(ctx context.Context, a, b *lts.LTS, kind bis
 	return s.equivalent(ctx, &recorder{s: s}, a, b, kind)
 }
 
+// Explain returns a shortest distinguishing experiment for a and b under
+// kind (branching kinds only), or ok=false when they are bisimilar,
+// serving repeated queries from the session's memo.
+func (s *Session) Explain(a, b *lts.LTS, kind bisim.Kind) (*bisim.Explanation, bool, error) {
+	return s.ExplainContext(context.Background(), a, b, kind)
+}
+
+// ExplainContext is Explain with cancellation.
+func (s *Session) ExplainContext(ctx context.Context, a, b *lts.LTS, kind bisim.Kind) (*bisim.Explanation, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.explain(ctx, &recorder{s: s}, a, b, kind)
+}
+
 // TraceInclusion decides quotient trace refinement implQ ⊑tr specQ,
 // serving repeated queries from the session's memo.
 func (s *Session) TraceInclusion(implQ, specQ *lts.LTS) (*refine.Result, error) {
@@ -418,9 +474,24 @@ func (s *Session) CheckLinearizabilityContext(ctx context.Context, impl, spec *m
 	if err != nil {
 		return nil, err
 	}
+	// On a negative verdict, also extract a distinguishing experiment
+	// between the quotients: branching bisimilarity implies quotient trace
+	// equivalence, so failed inclusion means the quotients are not
+	// bisimilar and the experiment pinpoints where they part ways.
+	var distinguishing *bisim.Explanation
+	if !res.Included {
+		exp, bad, err := s.explain(ctx, r, iq.q, sq.q, bisim.KindBranching)
+		if err != nil {
+			return nil, err
+		}
+		if bad {
+			distinguishing = exp
+		}
+	}
 	return &LinearizabilityResult{
 		Linearizable:       res.Included,
 		Counterexample:     res.Counterexample,
+		Distinguishing:     distinguishing,
 		ImplStates:         ia.l.NumStates(),
 		SpecStates:         sa.l.NumStates(),
 		ImplQuotientStates: iq.q.NumStates(),

@@ -22,6 +22,10 @@ const (
 	StageTraceInclusion = "trace-inclusion"
 	// StageKTrace is k-trace hierarchy analysis of a quotient.
 	StageKTrace = "ktrace"
+	// StageExplain is distinguishing-experiment extraction for an
+	// inequivalent pair of LTSs (splitting-tree refinement plus witness
+	// reconstruction).
+	StageExplain = "explain"
 )
 
 // StageStat instruments one pipeline stage: what ran, on what, for how

@@ -121,8 +121,12 @@ func Fig7(opt Options) (*Table, error) {
 		return nil, err
 	}
 	t.Note("MS queue ~br specification: %v (the single-atomic-block spec cannot match the L20/L28 race).", eq)
-	if exp, bad, err := bisim.Explain(q, specQ, bisim.KindBranching); err == nil && bad {
-		t.Note("Why (first separating refinement round):\n%s", exp.Format())
+	exp, bad, err := sess.Explain(q, specQ, bisim.KindBranching)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 explain: %w", err)
+	}
+	if bad {
+		t.Note("Why (shortest distinguishing experiment):\n%s", exp.Format())
 	}
 
 	// A diagnostic path through the quotient executing the empty-read

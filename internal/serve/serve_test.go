@@ -135,6 +135,10 @@ func TestSubmitPollResult(t *testing.T) {
 	if len(done.Result.Check.LinCounterexample) == 0 {
 		t.Fatal("failing check must carry the counterexample history")
 	}
+	exp := done.Result.Check.Distinguishing
+	if exp == nil || exp.Round < 1 || len(exp.Steps) == 0 || len(exp.Steps) > exp.Round {
+		t.Fatalf("failing check must carry a distinguishing experiment of at most Round steps, got %+v", exp)
+	}
 }
 
 // TestCacheHit pins the acceptance criterion: a repeated identical POST
