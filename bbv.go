@@ -55,6 +55,10 @@ type Instance struct {
 	// Workers sets the state-space exploration worker count (0 = all
 	// cores, 1 = sequential). Results are identical for any value.
 	Workers int
+	// MemBudget bounds (in bytes) the resident state storage of each
+	// exploration; past it, state storage spills to temp files. Zero
+	// keeps everything in RAM. Results are identical for any budget.
+	MemBudget int64
 	// Vals overrides the data-value universe of the packaged algorithms
 	// (default {1, 2}).
 	Vals []int32
@@ -66,15 +70,24 @@ func (i Instance) Algorithm() algorithms.Config {
 }
 
 func (i Instance) core() core.Config {
-	return core.Config{Threads: i.Threads, Ops: i.Ops, MaxStates: i.MaxStates, Workers: i.Workers}
+	return core.Config{
+		Threads:   i.Threads,
+		Ops:       i.Ops,
+		MaxStates: i.MaxStates,
+		Workers:   i.Workers,
+		MemBudget: i.MemBudget,
+		// Bit-pack states with vet's interval facts, exactly as the CLI and
+		// the bbvd service do.
+		LayoutProvider: api.LayoutProvider(i.Threads, i.Ops),
+	}
 }
 
 // CacheKey returns the canonical content hash under which the bbvd
 // verification service caches a job of the given kind ("check",
 // "explore" or "ktrace") on algorithmID with this instance. Two
-// instances that can only differ in wall-clock behaviour — Workers —
-// share a key; instances that can differ in outcome (Threads, Ops,
-// MaxStates, Vals) do not.
+// instances that can only differ in wall-clock behaviour — Workers and
+// MemBudget — share a key; instances that can differ in outcome
+// (Threads, Ops, MaxStates, Vals) do not.
 func (i Instance) CacheKey(kind, algorithmID string) string {
 	return api.JobSpec{
 		Kind:      kind,
@@ -201,12 +214,7 @@ func ExhibitByName(name string) (Exhibit, error) { return exhibits.ByName(name) 
 // of the paper). The object is explored under this instance's most
 // general clients.
 func CheckLTL(impl *Program, f *ltl.Formula, in Instance) (*ltl.Result, error) {
-	l, err := machine.Explore(impl, machine.Options{
-		Threads:   in.Threads,
-		Ops:       in.Ops,
-		MaxStates: in.MaxStates,
-		Workers:   in.Workers,
-	})
+	l, err := core.Explore(impl, in.core(), nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -239,12 +247,11 @@ type Explanation = bisim.Explanation
 func ExplainSpecMismatch(impl, spec *Program, in Instance) (*Explanation, bool, error) {
 	acts := lts.NewAlphabet()
 	labels := lts.NewAlphabet()
-	opts := machine.Options{Threads: in.Threads, Ops: in.Ops, MaxStates: in.MaxStates, Workers: in.Workers, Acts: acts, Labels: labels}
-	implLTS, err := machine.Explore(impl, opts)
+	implLTS, err := core.Explore(impl, in.core(), acts, labels)
 	if err != nil {
 		return nil, false, err
 	}
-	specLTS, err := machine.Explore(spec, opts)
+	specLTS, err := core.Explore(spec, in.core(), acts, labels)
 	if err != nil {
 		return nil, false, err
 	}

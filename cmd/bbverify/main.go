@@ -49,6 +49,7 @@ import (
 	"repro/internal/ltl"
 	"repro/internal/lts"
 	"repro/internal/machine"
+	"repro/internal/statestore"
 )
 
 func main() {
@@ -151,9 +152,13 @@ type commonFlags struct {
 	workers   *int
 	refiner   *string
 	model     *string
+	membudget *string
+	encoding  *string
 	// modelSrc holds the -model file's source after resolve, so check
 	// -json can forward it as a model_source job.
 	modelSrc []byte
+	// memBytes is the parsed -membudget value after resolve.
+	memBytes int64
 }
 
 func newFlags(name string) *commonFlags {
@@ -167,6 +172,8 @@ func newFlags(name string) *commonFlags {
 		workers:   fs.Int("workers", 0, "exploration workers (0 = all cores, 1 = sequential)"),
 		refiner:   fs.String("refiner", "auto", "branching-bisimulation refiner: auto, signature or splitter — verdicts are identical for any choice"),
 		model:     fs.String("model", "", "verify a BBVL model file instead of a registry algorithm"),
+		membudget: fs.String("membudget", "", "resident state-storage budget per exploration, e.g. 64MiB or 2GiB; past it, state storage spills to temp files (default: all in RAM) — results are identical for any budget"),
+		encoding:  fs.String("encoding", "", "state codec: packed (interval bit-packing, the default) or legacy (one byte per slot) — LTSs are identical for either"),
 	}
 }
 
@@ -216,9 +223,54 @@ func (c *commonFlags) resolve() (*algorithms.Algorithm, algorithms.Config, core.
 	if err != nil {
 		return nil, algorithms.Config{}, core.Config{}, fmt.Errorf("bad -refiner: %w", err)
 	}
+	if *c.membudget != "" {
+		c.memBytes, err = statestore.ParseBudget(*c.membudget)
+		if err != nil {
+			return nil, algorithms.Config{}, core.Config{}, fmt.Errorf("bad -membudget: %w", err)
+		}
+	}
 	acfg := algorithms.Config{Threads: *c.threads, Ops: *c.ops, Vals: vals}
-	ccfg := core.Config{Threads: *c.threads, Ops: *c.ops, MaxStates: *c.maxStates, Workers: *c.workers, Refiner: ref}
+	ccfg := core.Config{
+		Threads:   *c.threads,
+		Ops:       *c.ops,
+		MaxStates: *c.maxStates,
+		Workers:   *c.workers,
+		Refiner:   ref,
+		MemBudget: c.memBytes,
+		Encoding:  *c.encoding,
+		// Narrow packed layouts with vet's interval facts, exactly as the
+		// bbvd service does.
+		LayoutProvider: api.LayoutProvider(*c.threads, *c.ops),
+	}
 	return alg, acfg, ccfg, nil
+}
+
+// memBudgetMB converts the parsed -membudget bytes into the JobSpec's
+// MiB granularity, rounding up so a budget is never silently loosened
+// away (any non-zero budget stays non-zero).
+func (c *commonFlags) memBudgetMB() int {
+	if c.memBytes <= 0 {
+		return 0
+	}
+	return int((c.memBytes + (1 << 20) - 1) >> 20)
+}
+
+// machineOpts builds direct machine.Explore options from a resolved
+// core.Config (for the subcommands that explore outside a core.Session),
+// carrying the memory budget, codec choice and vet-narrowed layout.
+func machineOpts(ccfg core.Config, p *machine.Program) machine.Options {
+	opt := machine.Options{
+		Threads:   ccfg.Threads,
+		Ops:       ccfg.Ops,
+		MaxStates: ccfg.MaxStates,
+		Workers:   ccfg.Workers,
+		MemBudget: ccfg.MemBudget,
+		Encoding:  ccfg.Encoding,
+	}
+	if p != nil && ccfg.LayoutProvider != nil {
+		opt.Layout = ccfg.LayoutProvider(p)
+	}
+	return opt
 }
 
 // parseVals parses a comma-separated -vals flag.
@@ -263,14 +315,15 @@ func check(args []string) error {
 		}
 	}
 	spec := api.JobSpec{
-		Kind:      api.KindCheck,
-		Threads:   ccfg.Threads,
-		Ops:       ccfg.Ops,
-		MaxStates: ccfg.MaxStates,
-		Workers:   ccfg.Workers,
-		Refiner:   *cf.refiner,
-		Vals:      acfg.Vals,
-		Checks:    checks,
+		Kind:        api.KindCheck,
+		Threads:     ccfg.Threads,
+		Ops:         ccfg.Ops,
+		MaxStates:   ccfg.MaxStates,
+		Workers:     ccfg.Workers,
+		Refiner:     *cf.refiner,
+		Vals:        acfg.Vals,
+		Checks:      checks,
+		MemBudgetMB: cf.memBudgetMB(),
 	}
 	if *cf.model != "" {
 		spec.ModelSource = string(cf.modelSrc)
@@ -404,6 +457,38 @@ func printStageTable(stats []core.StageStat) {
 			sizes(st.StatesIn, st.TransitionsIn), sizes(st.StatesOut, st.TransitionsOut),
 			rounds, cached)
 	}
+	printStorageTable(stats)
+}
+
+// printStorageTable renders the explore stages' state-storage telemetry
+// (encoding, bytes per state, throughput, spilling, peak RSS), skipped
+// entirely when no stage carries any.
+func printStorageTable(stats []core.StageStat) {
+	any := false
+	for _, st := range stats {
+		if st.Encoding != "" {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Println("\nstate storage:")
+	fmt.Printf("  %-34s %8s %8s %12s %6s %12s\n",
+		"target", "codec", "B/state", "states/s", "spill", "peak RSS")
+	for _, st := range stats {
+		if st.Encoding == "" {
+			continue
+		}
+		spill := "-"
+		if st.SpillFiles > 0 {
+			spill = fmt.Sprint(st.SpillFiles)
+		}
+		fmt.Printf("  %-34s %8s %8.2f %12.0f %6s %12s\n",
+			st.Target, st.Encoding, st.BytesPerState, st.StatesPerSec,
+			spill, statestore.FormatBytes(st.PeakRSSBytes))
+	}
 }
 
 func exploreCmd(args []string) error {
@@ -414,9 +499,8 @@ func exploreCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	l, err := machine.Explore(alg.Build(acfg), machine.Options{
-		Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates, Workers: ccfg.Workers,
-	})
+	prog := alg.Build(acfg)
+	l, info, err := machine.ExploreWithInfo(prog, machineOpts(ccfg, prog))
 	if err != nil {
 		return err
 	}
@@ -427,6 +511,13 @@ func exploreCmd(args []string) error {
 	fmt.Printf("%s (%d threads x %d ops)\n", alg.Display, ccfg.Threads, ccfg.Ops)
 	fmt.Printf("states:       %d\n", l.NumStates())
 	fmt.Printf("transitions:  %d (%d tau)\n", l.NumTransitions(), l.CountTau())
+	fmt.Printf("memory:       %s codec, %.2f B/state, %.0f states/s, peak RSS %s",
+		info.Stats.Encoding, info.Stats.BytesPerState(), info.Stats.StatesPerSec(),
+		statestore.FormatBytes(info.Stats.PeakRSSBytes))
+	if info.Stats.SpillFiles > 0 {
+		fmt.Printf(", spilled to %d temp files", info.Stats.SpillFiles)
+	}
+	fmt.Println()
 	fmt.Printf("quotient:     %d states, %d transitions (reduction %.1fx)\n",
 		q.NumStates(), q.NumTransitions(), float64(l.NumStates())/float64(q.NumStates()))
 	fmt.Printf("blocks:       %d\n", p.Num)
@@ -467,9 +558,8 @@ func ktraceCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	l, err := machine.Explore(alg.Build(acfg), machine.Options{
-		Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates, Workers: ccfg.Workers,
-	})
+	prog := alg.Build(acfg)
+	l, err := machine.Explore(prog, machineOpts(ccfg, prog))
 	if err != nil {
 		return err
 	}
@@ -505,12 +595,16 @@ func compareCmd(args []string) error {
 	}
 	acts := lts.NewAlphabet()
 	labels := lts.NewAlphabet()
-	opts := machine.Options{Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates, Workers: ccfg.Workers, Acts: acts, Labels: labels}
-	impl, err := machine.Explore(alg.Build(acfg), opts)
+	implProg, specProg := alg.Build(acfg), alg.Spec(acfg)
+	opts := machineOpts(ccfg, implProg)
+	opts.Acts, opts.Labels = acts, labels
+	impl, err := machine.Explore(implProg, opts)
 	if err != nil {
 		return err
 	}
-	specLTS, err := machine.Explore(alg.Spec(acfg), opts)
+	specOpts := machineOpts(ccfg, specProg)
+	specOpts.Acts, specOpts.Labels = acts, labels
+	specLTS, err := machine.Explore(specProg, specOpts)
 	if err != nil {
 		return err
 	}
@@ -575,12 +669,16 @@ func explainCmd(args []string) error {
 	}
 	acts := lts.NewAlphabet()
 	labels := lts.NewAlphabet()
-	opts := machine.Options{Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates, Workers: ccfg.Workers, Acts: acts, Labels: labels}
-	impl, err := machine.Explore(alg.Build(acfg), opts)
+	implProg, specProg := alg.Build(acfg), alg.Spec(acfg)
+	opts := machineOpts(ccfg, implProg)
+	opts.Acts, opts.Labels = acts, labels
+	impl, err := machine.Explore(implProg, opts)
 	if err != nil {
 		return err
 	}
-	specLTS, err := machine.Explore(alg.Spec(acfg), opts)
+	specOpts := machineOpts(ccfg, specProg)
+	specOpts.Acts, specOpts.Labels = acts, labels
+	specLTS, err := machine.Explore(specProg, specOpts)
 	if err != nil {
 		return err
 	}
@@ -619,9 +717,8 @@ func ltlCmd(args []string) error {
 	default:
 		return fmt.Errorf("unknown formula %q (use lockfree or completes:<Method>)", *formula)
 	}
-	l, err := machine.Explore(alg.Build(acfg), machine.Options{
-		Threads: ccfg.Threads, Ops: ccfg.Ops, MaxStates: ccfg.MaxStates, Workers: ccfg.Workers,
-	})
+	prog := alg.Build(acfg)
+	l, err := machine.Explore(prog, machineOpts(ccfg, prog))
 	if err != nil {
 		return err
 	}
@@ -659,9 +756,13 @@ func sweepCmd(args []string) error {
 		a := acfg
 		a.Ops = ops
 		start := time.Now()
-		l, err := machine.Explore(alg.Build(a), machine.Options{
-			Threads: ccfg.Threads, Ops: ops, MaxStates: ccfg.MaxStates, Workers: ccfg.Workers,
-		})
+		prog := alg.Build(a)
+		sweepCfg := ccfg
+		sweepCfg.Ops = ops
+		// The layout must match this iteration's ops bound, not the base
+		// flag value.
+		sweepCfg.LayoutProvider = api.LayoutProvider(ccfg.Threads, ops)
+		l, err := machine.Explore(prog, machineOpts(sweepCfg, prog))
 		if err != nil {
 			var lim *machine.StateLimitError
 			if errors.As(err, &lim) {

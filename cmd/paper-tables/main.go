@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exhibits"
+	"repro/internal/statestore"
 )
 
 func main() {
@@ -34,8 +35,17 @@ func run(args []string) error {
 	maxStates := fs.Int("max-states", 0, "per-instance state budget (0 = default)")
 	workers := fs.Int("workers", 0, "exploration workers (0 = all cores, 1 = sequential)")
 	stages := fs.Bool("stages", false, "print per-stage runtime totals after each exhibit")
+	membudget := fs.String("membudget", "", "resident state-storage budget per exploration, e.g. 2GiB; past it, state storage spills to temp files (default: all in RAM) — exhibit contents are identical for any budget")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var memBytes int64
+	if *membudget != "" {
+		var err error
+		memBytes, err = statestore.ParseBudget(*membudget)
+		if err != nil {
+			return fmt.Errorf("bad -membudget: %w", err)
+		}
 	}
 	names := fs.Args()
 	if len(names) == 0 {
@@ -58,7 +68,7 @@ func run(args []string) error {
 		}
 		selected = append(selected, e)
 	}
-	opt := exhibits.Options{Quick: *quick, MaxStates: *maxStates, Workers: *workers}
+	opt := exhibits.Options{Quick: *quick, MaxStates: *maxStates, Workers: *workers, MemBudget: memBytes}
 	for _, e := range selected {
 		start := time.Now()
 		t, err := e.Run(opt)

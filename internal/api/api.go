@@ -26,6 +26,8 @@ import (
 	"repro/internal/ktrace"
 	"repro/internal/lts"
 	"repro/internal/machine"
+	"repro/internal/statestore"
+	"repro/internal/vet"
 )
 
 // Job kinds accepted by Run and the bbvd service.
@@ -65,6 +67,12 @@ type JobSpec struct {
 	// TimeoutMS bounds the job's run time in milliseconds (0 = the
 	// server's default; ignored by the CLI).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MemBudgetMB bounds (in MiB) the resident state storage of each
+	// exploration; past it, state storage spills to temp files (0 = all
+	// in RAM). Like Workers it tunes execution only — the explorer
+	// produces a byte-identical LTS under any budget — so it does not
+	// enter the cache key.
+	MemBudgetMB int `json:"mem_budget_mb,omitempty"`
 	// ModelSource carries inline BBVL model text to verify instead of a
 	// packaged algorithm; mutually exclusive with Algorithm. The source
 	// enters the cache key, so two jobs differing only in model text
@@ -224,8 +232,8 @@ func (s *JobSpec) Validate() error {
 	if s.Threads <= 0 || s.Ops <= 0 {
 		return fmt.Errorf("api: threads and ops must be positive (got %d x %d)", s.Threads, s.Ops)
 	}
-	if s.MaxStates < 0 || s.Workers < 0 || s.TimeoutMS < 0 {
-		return fmt.Errorf("api: max_states, workers and timeout_ms must be non-negative")
+	if s.MaxStates < 0 || s.Workers < 0 || s.TimeoutMS < 0 || s.MemBudgetMB < 0 {
+		return fmt.Errorf("api: max_states, workers, timeout_ms and mem_budget_mb must be non-negative")
 	}
 	if _, err := bisim.ParseRefiner(s.Refiner); err != nil {
 		return fmt.Errorf("api: %w", err)
@@ -261,7 +269,9 @@ func (s *JobSpec) Validate() error {
 // threads, ops, the effective state budget and the effective value
 // universe. Workers is deliberately excluded (the explorer produces a
 // byte-identical LTS for every worker count), as is TimeoutMS (a timeout
-// either cancels the job or leaves the result untouched) and Refiner
+// either cancels the job or leaves the result untouched), MemBudgetMB
+// (the explorer produces a byte-identical LTS under any memory budget;
+// spilling moves bytes, never decisions) and Refiner
 // (both refiners compute byte-identical partitions — same block
 // numbering, counts and rounds — a property the cross-refiner tests pin
 // on every packaged instance, so the verdict and every size field are
@@ -315,7 +325,26 @@ func (s JobSpec) algorithmConfig() algorithms.Config {
 
 func (s JobSpec) coreConfig() core.Config {
 	ref, _ := bisim.ParseRefiner(s.Refiner) // Validate already vetted the name
-	return core.Config{Threads: s.Threads, Ops: s.Ops, MaxStates: s.MaxStates, Workers: s.Workers, Refiner: ref}
+	return core.Config{
+		Threads:   s.Threads,
+		Ops:       s.Ops,
+		MaxStates: s.MaxStates,
+		Workers:   s.Workers,
+		Refiner:   ref,
+		MemBudget: int64(s.MemBudgetMB) << 20,
+		// Pack states with vet's interval facts; programs without IR fall
+		// back to the structural layout inside the explorer.
+		LayoutProvider: LayoutProvider(s.Threads, s.Ops),
+	}
+}
+
+// LayoutProvider builds a core.Config.LayoutProvider that narrows each
+// explored program's packed state layout with vet's interval analysis,
+// for instances with the given client bounds.
+func LayoutProvider(threads, ops int) func(p *machine.Program) *statestore.Layout {
+	return func(p *machine.Program) *statestore.Layout {
+		return vet.StateLayout(p, vet.Options{Threads: threads, Ops: ops})
+	}
 }
 
 // PathJSON is a diagnostic path (divergence lasso or deadlock witness) in
@@ -423,6 +452,12 @@ type StageJSON struct {
 	TransitionsOut int    `json:"transitions_out,omitempty"`
 	Rounds         int    `json:"rounds,omitempty"`
 	Cached         bool   `json:"cached,omitempty"`
+	// Explore-stage storage telemetry; see core.StageStat.
+	Encoding      string  `json:"encoding,omitempty"`
+	BytesPerState float64 `json:"bytes_per_state,omitempty"`
+	PeakRSSBytes  int64   `json:"peak_rss_bytes,omitempty"`
+	SpillFiles    int     `json:"spill_files,omitempty"`
+	StatesPerSec  float64 `json:"states_per_sec,omitempty"`
 }
 
 // StagesJSON converts core stage stats to wire form.
@@ -439,6 +474,11 @@ func StagesJSON(stats []core.StageStat) []StageJSON {
 			TransitionsOut: st.TransitionsOut,
 			Rounds:         st.Rounds,
 			Cached:         st.Cached,
+			Encoding:       st.Encoding,
+			BytesPerState:  st.BytesPerState,
+			PeakRSSBytes:   st.PeakRSSBytes,
+			SpillFiles:     st.SpillFiles,
+			StatesPerSec:   st.StatesPerSec,
 		})
 	}
 	return out

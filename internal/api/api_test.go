@@ -29,6 +29,15 @@ func TestCacheKeyWorkersIndependent(t *testing.T) {
 	if got := timed.CacheKey(); got != key {
 		t.Errorf("TimeoutMS changed the cache key")
 	}
+	// The explorer's LTS is byte-identical under any memory budget, so
+	// MemBudgetMB must not split the key either.
+	for _, mb := range []int{64, 2048} {
+		budgeted := base
+		budgeted.MemBudgetMB = mb
+		if got := budgeted.CacheKey(); got != key {
+			t.Errorf("MemBudgetMB=%d changed the cache key", mb)
+		}
+	}
 
 	vals := base
 	vals.Vals = []int32{1, 2, 3}
@@ -77,6 +86,7 @@ func TestValidate(t *testing.T) {
 		{Kind: KindCheck, Algorithm: "no-such-alg", Threads: 2, Ops: 2},
 		{Kind: KindCheck, Algorithm: "treiber", Threads: -1, Ops: 2},
 		{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 2, TimeoutMS: -5},
+		{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 2, MemBudgetMB: -1},
 	} {
 		if err := bad.Validate(); err == nil {
 			t.Errorf("spec %+v must not validate", bad)
@@ -130,6 +140,39 @@ func TestRunKinds(t *testing.T) {
 	}
 	if len(res.Check.LinCounterexample) == 0 {
 		t.Fatal("a failing check must carry the counterexample history")
+	}
+}
+
+// TestRunMemBudgetSameVerdict pins that a memory-budgeted job reports
+// the same verdict and sizes as the unbudgeted one, and that explore
+// stages surface the storage telemetry.
+func TestRunMemBudgetSameVerdict(t *testing.T) {
+	ctx := context.Background()
+	free, err := Run(ctx, JobSpec{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Run(ctx, JobSpec{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1, MemBudgetMB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Check.Linearizable != tight.Check.Linearizable ||
+		free.Check.ImplStates != tight.Check.ImplStates ||
+		free.Check.ImplQuotientStates != tight.Check.ImplQuotientStates {
+		t.Fatalf("budgeted verdict diverged: %+v vs %+v", free.Check, tight.Check)
+	}
+	sawExplore := false
+	for _, st := range tight.Stages {
+		if st.Stage != "explore" {
+			continue
+		}
+		sawExplore = true
+		if st.Encoding == "" || st.BytesPerState <= 0 || st.PeakRSSBytes <= 0 {
+			t.Fatalf("explore stage missing storage telemetry: %+v", st)
+		}
+	}
+	if !sawExplore {
+		t.Fatal("no explore stage in the result")
 	}
 }
 

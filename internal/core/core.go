@@ -30,6 +30,7 @@ import (
 	"repro/internal/lts"
 	"repro/internal/machine"
 	"repro/internal/refine"
+	"repro/internal/statestore"
 )
 
 // Config bounds an individual verification instance.
@@ -50,28 +51,52 @@ type Config struct {
 	// automatically by instance size. Every choice produces identical
 	// partitions and verdicts — see bisim.Refiner.
 	Refiner bisim.Refiner
+	// MemBudget bounds (in bytes) the resident state storage of each
+	// exploration; past it, intern-table generations and frontier levels
+	// spill to temp files. 0 keeps everything in RAM. Budgets never
+	// change any LTS, quotient or verdict — see machine.Options.MemBudget.
+	MemBudget int64
+	// SpillDir is the parent directory for spill temp files; empty uses
+	// the OS temp dir.
+	SpillDir string
+	// Encoding selects the state codec (machine.EncodingAuto/Packed/
+	// Legacy); it never changes any result.
+	Encoding string
+	// LayoutProvider, when set, supplies a packed state layout for each
+	// program explored under this configuration (typically vet interval
+	// narrowing via vet.StateLayout). Returning nil falls back to the
+	// structural layout. Layouts never change any result, only bytes per
+	// state.
+	LayoutProvider func(p *machine.Program) *statestore.Layout
 }
 
-func (c Config) options(acts, labels *lts.Alphabet) machine.Options {
-	return machine.Options{
+func (c Config) options(p *machine.Program, acts, labels *lts.Alphabet) machine.Options {
+	opt := machine.Options{
 		Threads:   c.Threads,
 		Ops:       c.Ops,
 		MaxStates: c.MaxStates,
 		Workers:   c.Workers,
 		Acts:      acts,
 		Labels:    labels,
+		MemBudget: c.MemBudget,
+		SpillDir:  c.SpillDir,
+		Encoding:  c.Encoding,
 	}
+	if p != nil && c.LayoutProvider != nil {
+		opt.Layout = c.LayoutProvider(p)
+	}
+	return opt
 }
 
 // Explore generates the LTS of a program under this configuration with a
 // shared alphabet, exposed for analyses beyond the canned checks.
 func Explore(p *machine.Program, cfg Config, acts, labels *lts.Alphabet) (*lts.LTS, error) {
-	return machine.Explore(p, cfg.options(acts, labels))
+	return machine.Explore(p, cfg.options(p, acts, labels))
 }
 
 // ExploreContext is Explore with cancellation; see machine.ExploreContext.
 func ExploreContext(ctx context.Context, p *machine.Program, cfg Config, acts, labels *lts.Alphabet) (*lts.LTS, error) {
-	return machine.ExploreContext(ctx, p, cfg.options(acts, labels))
+	return machine.ExploreContext(ctx, p, cfg.options(p, acts, labels))
 }
 
 // LinearizabilityResult reports a Theorem 5.3 check.

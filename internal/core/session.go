@@ -164,7 +164,7 @@ func (s *Session) explore(ctx context.Context, r *recorder, p *machine.Program) 
 		return a, nil
 	}
 	start := time.Now()
-	l, info, err := machine.ExploreWithInfoContext(ctx, p, s.cfg.options(s.acts, s.labels))
+	l, info, err := machine.ExploreWithInfoContext(ctx, p, s.cfg.options(p, s.acts, s.labels))
 	if err != nil {
 		return nil, fmt.Errorf("explore %s: %w", p.Name, err)
 	}
@@ -174,6 +174,11 @@ func (s *Session) explore(ctx context.Context, r *recorder, p *machine.Program) 
 		Elapsed:        time.Since(start),
 		StatesOut:      l.NumStates(),
 		TransitionsOut: l.NumTransitions(),
+		Encoding:       info.Stats.Encoding,
+		BytesPerState:  info.Stats.BytesPerState(),
+		PeakRSSBytes:   info.Stats.PeakRSSBytes,
+		SpillFiles:     info.Stats.SpillFiles,
+		StatesPerSec:   info.Stats.StatesPerSec(),
 	}}
 	s.programs[p] = a
 	r.add(a.stat)

@@ -58,4 +58,18 @@ type StageStat struct {
 	// store instead of recomputed; the size fields still describe the
 	// artifact, Elapsed is zero.
 	Cached bool `json:"cached,omitempty"`
+	// Explore-stage storage telemetry (zero for other stages).
+	//
+	// Encoding names the state codec ("packed" or "legacy").
+	Encoding string `json:"encoding,omitempty"`
+	// BytesPerState is the effective encoded size of one interned state.
+	BytesPerState float64 `json:"bytes_per_state,omitempty"`
+	// PeakRSSBytes is the OS-reported process peak RSS at the end of the
+	// stage (process-wide and monotone across a run).
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	// SpillFiles counts temp files the exploration spilled state storage
+	// into (0 = everything stayed within the memory budget).
+	SpillFiles int `json:"spill_files,omitempty"`
+	// StatesPerSec is the exploration throughput.
+	StatesPerSec float64 `json:"states_per_sec,omitempty"`
 }

@@ -70,7 +70,7 @@ func Fig7(opt Options) (*Table, error) {
 	}
 	a := mustAlg("ms-queue")
 	cfg := algorithms.Config{Threads: 2, Ops: ops, Vals: oneVal}
-	sess := core.NewSession(core.Config{Threads: 2, Ops: ops, MaxStates: opt.maxStates(), Workers: opt.Workers})
+	sess := core.NewSession(opt.coreConfig(2, ops))
 	l, err := sess.Explore(a.Build(cfg))
 	if err != nil {
 		if isStateLimit(err) {

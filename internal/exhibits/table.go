@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/api"
 	"repro/internal/core"
 )
 
@@ -114,6 +115,11 @@ type Options struct {
 	// cores, 1 = sequential). Exhibit contents are identical for any
 	// value; only wall-clock time changes.
 	Workers int
+	// MemBudget bounds (in bytes) the resident state storage of each
+	// exploration; past it, state storage spills to temp files. Zero
+	// keeps everything in RAM. Exhibit contents are identical for any
+	// budget — only memory use and wall-clock time change.
+	MemBudget int64
 }
 
 // DefaultMaxStates is the per-instance exploration budget of full runs.
@@ -127,6 +133,21 @@ func (o Options) maxStates() int {
 		return 300_000
 	}
 	return DefaultMaxStates
+}
+
+// coreConfig builds the verification configuration every exhibit uses
+// for one instance: the option bounds plus packed state layouts narrowed
+// by vet's interval analysis (the same provider the CLI and the bbvd
+// service install).
+func (o Options) coreConfig(threads, ops int) core.Config {
+	return core.Config{
+		Threads:        threads,
+		Ops:            ops,
+		MaxStates:      o.maxStates(),
+		Workers:        o.Workers,
+		MemBudget:      o.MemBudget,
+		LayoutProvider: api.LayoutProvider(threads, ops),
+	}
 }
 
 const capped = "(capped)"

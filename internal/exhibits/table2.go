@@ -18,7 +18,7 @@ func Table2(opt Options) (*Table, error) {
 		Columns: []string{"Case study", "Linearizability", "Lock-freedom", "Non-fixed LPs", "matches paper"},
 	}
 	threads, ops := 2, 2
-	ccfg := core.Config{Threads: threads, Ops: ops, MaxStates: opt.maxStates(), Workers: opt.Workers}
+	ccfg := opt.coreConfig(threads, ops)
 	cfg := algorithms.Config{Threads: threads, Ops: ops}
 	for _, a := range algorithms.TableII() {
 		// One artifact session per benchmark: the lock-freedom check

@@ -25,12 +25,7 @@ func lockFreeSweep(title string, alg *algorithms.Algorithm, rows []instance, val
 	for _, in := range rows {
 		cfg := algorithms.Config{Threads: in.threads, Ops: in.ops, Vals: vals}
 		start := time.Now()
-		sess := core.NewSession(core.Config{
-			Threads:   in.threads,
-			Ops:       in.ops,
-			MaxStates: opt.maxStates(),
-			Workers:   opt.Workers,
-		})
+		sess := core.NewSession(opt.coreConfig(in.threads, in.ops))
 		res, err := sess.CheckLockFreeAuto(alg.Build(cfg))
 		t.Stages = append(t.Stages, sess.Stats()...)
 		if err != nil {

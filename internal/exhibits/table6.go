@@ -37,12 +37,7 @@ func Table6(opt Options) (*Table, error) {
 	dglm := mustAlg("dglm-queue")
 	for _, in := range rows {
 		cfg := algorithms.Config{Threads: in.threads, Ops: in.ops, Vals: oneVal}
-		sess := core.NewSession(core.Config{
-			Threads:   in.threads,
-			Ops:       in.ops,
-			MaxStates: opt.maxStates(),
-			Workers:   opt.Workers,
-		})
+		sess := core.NewSession(opt.coreConfig(in.threads, in.ops))
 		msLTS, err := sess.Explore(ms.Build(cfg))
 		if err != nil {
 			if isStateLimit(err) {

@@ -50,12 +50,7 @@ func Table7(opt Options) (*Table, error) {
 				vals = oneVal
 			}
 			cfg := algorithms.Config{Threads: in.threads, Ops: in.ops, Vals: vals}
-			sess := core.NewSession(core.Config{
-				Threads:   in.threads,
-				Ops:       in.ops,
-				MaxStates: opt.maxStates(),
-				Workers:   opt.Workers,
-			})
+			sess := core.NewSession(opt.coreConfig(in.threads, in.ops))
 			rep, err := sess.CompareWithSpec(a.Build(cfg), a.Spec(cfg))
 			if err != nil {
 				if isStateLimit(err) {

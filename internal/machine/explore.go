@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"repro/internal/lts"
+	"repro/internal/statestore"
 )
 
 // DefaultMaxStates bounds exploration when Options.MaxStates is zero.
@@ -92,6 +94,66 @@ type Options struct {
 	Acts *lts.Alphabet
 	// Labels supplies a shared diagnostic-label alphabet; nil allocates.
 	Labels *lts.Alphabet
+	// MemBudget bounds (approximately, in bytes) the resident state
+	// storage of the exploration; past it, closed intern-table
+	// generations and frontier levels spill to temp files. 0 keeps
+	// everything in RAM. The produced LTS is byte-identical for every
+	// budget. A positive budget routes through the spilling explorer even
+	// when Workers == 1.
+	MemBudget int64
+	// SpillDir is the parent directory for spill temp files; empty uses
+	// the OS temp dir. All spill files live in a private subdirectory
+	// removed when the exploration ends, on every exit path.
+	SpillDir string
+	// Encoding selects the state codec: EncodingAuto/EncodingPacked bit-
+	// pack states using Layout or the structural layout; EncodingLegacy
+	// forces the original one-byte-per-slot encoding. The choice never
+	// affects the produced LTS.
+	Encoding string
+	// Layout optionally supplies a narrowed packed layout (vet interval
+	// facts via vet.StateLayout). It must be derived from this program
+	// under the same Threads and Ops; a mis-shaped layout is ignored in
+	// favor of the structural one.
+	Layout *statestore.Layout
+}
+
+// ExploreStats is the storage telemetry of one exploration.
+type ExploreStats struct {
+	// Encoding names the state codec used: "packed" or "legacy".
+	Encoding string
+	// States is the number of distinct states interned.
+	States int
+	// EncodedBytes is the summed encoded size of all interned states.
+	EncodedBytes int64
+	// PeakResidentBytes is the high-water mark of state storage held in
+	// RAM (interned keys, table bookkeeping, hot frontier bytes).
+	PeakResidentBytes int64
+	// PeakRSSBytes is the OS-reported process peak RSS, measured at the
+	// end of the exploration (process-wide and monotone across a run).
+	PeakRSSBytes int64
+	// SpillFiles, TableFlushes and FrontierSpills count spill activity;
+	// all zero when the exploration fit in its budget.
+	SpillFiles     int
+	TableFlushes   int
+	FrontierSpills int
+	// Elapsed is the exploration wall-clock time.
+	Elapsed time.Duration
+}
+
+// BytesPerState is the effective encoded size of one state.
+func (s ExploreStats) BytesPerState() float64 {
+	if s.States == 0 {
+		return 0
+	}
+	return float64(s.EncodedBytes) / float64(s.States)
+}
+
+// StatesPerSec is the exploration throughput.
+func (s ExploreStats) StatesPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.States) / s.Elapsed.Seconds()
 }
 
 // Info carries by-products of an exploration.
@@ -102,6 +164,8 @@ type Info struct {
 	// clients forever shows up here; the all-operations-completed
 	// terminal states do not.
 	Deadlocks []int32
+	// Stats is the exploration's storage telemetry.
+	Stats ExploreStats
 }
 
 // Explore generates the LTS of the program under most general clients:
@@ -149,18 +213,25 @@ func ExploreWithInfoContext(ctx context.Context, p *Program, opt Options) (*lts.
 	if labels == nil {
 		labels = lts.NewAlphabet()
 	}
+	cdc, err := newCodec(p, opt)
+	if err != nil {
+		return nil, nil, err
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > 1 {
-		return exploreParallel(ctx, p, opt, acts, labels, limit, workers)
+	// A memory budget needs the spilling explorer; with one worker it
+	// produces the identical LTS, just through the statestore.
+	if workers > 1 || opt.MemBudget > 0 {
+		return exploreParallel(ctx, p, opt, cdc, acts, labels, limit, workers)
 	}
 
 	e := &explorer{
 		ctx:  ctx,
 		prog: p,
 		opt:  opt,
+		cdc:  cdc,
 		ai:   newActionInterner(p, acts, labels),
 		ids:  make(map[string]int32),
 	}
@@ -201,17 +272,19 @@ func initialState(p *Program, opt Options) *state {
 // canonical state encodings, emitting transitions straight into a CSR
 // builder.
 type explorer struct {
-	ctx   context.Context
-	prog  *Program
-	opt   Options
-	ai    *actionInterner
-	ids   map[string]int32
-	keys  [][]byte
-	buf   []byte
-	limit int
-	err   error
-	csr   *lts.CSRBuilder
-	x     expander
+	ctx      context.Context
+	prog     *Program
+	opt      Options
+	cdc      codec
+	ai       *actionInterner
+	ids      map[string]int32
+	keys     [][]byte
+	buf      []byte
+	keyBytes int64
+	limit    int
+	err      error
+	csr      *lts.CSRBuilder
+	x        expander
 }
 
 // actKey packs (call?, thread, method, value) for the action cache.
@@ -323,7 +396,7 @@ func (ai *actionInterner) resolve(tr symTrans) (lts.ActionID, lts.LabelID) {
 // as soon as the limit is crossed and callers stop promptly.
 func (e *explorer) internState(st *state) int32 {
 	e.x.canon.run(st)
-	e.buf = encode(e.buf[:0], st)
+	e.buf = e.cdc.encode(e.buf[:0], st)
 	if id, ok := e.ids[string(e.buf)]; ok {
 		return id
 	}
@@ -331,6 +404,7 @@ func (e *explorer) internState(st *state) int32 {
 	key := append([]byte(nil), e.buf...)
 	e.ids[bytesString(key)] = id
 	e.keys = append(e.keys, key)
+	e.keyBytes += int64(len(key))
 	if len(e.keys) > e.limit && e.err == nil {
 		e.err = &StateLimitError{Program: e.prog.Name, Limit: e.limit}
 	}
@@ -351,6 +425,7 @@ func newScratchState(p *Program, threads int) *state {
 
 func (e *explorer) run(limit int) (*lts.LTS, *Info, error) {
 	p := e.prog
+	start := time.Now()
 	e.limit = limit
 	e.x = newExpander(p, e.opt.Threads)
 	e.internState(initialState(p, e.opt))
@@ -365,7 +440,7 @@ func (e *explorer) run(limit int) (*lts.LTS, *Info, error) {
 		if si&cancelCheckMask == 0 && e.ctx.Err() != nil {
 			return nil, nil, canceled(e.ctx, p.Name)
 		}
-		decode(e.keys[si], cur)
+		e.cdc.decode(e.keys[si], cur)
 		if err := e.csr.BeginState(int32(si)); err != nil {
 			return nil, nil, err
 		}
@@ -376,6 +451,14 @@ func (e *explorer) run(limit int) (*lts.LTS, *Info, error) {
 		if emitted == 0 && !allDone(cur) {
 			info.Deadlocks = append(info.Deadlocks, int32(si))
 		}
+	}
+	info.Stats = ExploreStats{
+		Encoding:          e.cdc.name(),
+		States:            len(e.keys),
+		EncodedBytes:      e.keyBytes,
+		PeakResidentBytes: e.keyBytes,
+		PeakRSSBytes:      statestore.ProcessPeakRSS(),
+		Elapsed:           time.Since(start),
 	}
 	return e.csr.Build(len(e.keys), 0), info, nil
 }

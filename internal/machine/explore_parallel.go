@@ -2,91 +2,46 @@ package machine
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lts"
+	"repro/internal/statestore"
 )
 
-// Parallel state-space generation: a level-synchronized BFS.
+// Parallel state-space generation: a level-synchronized BFS over the
+// statestore.
 //
-// The frontier of each BFS level is the contiguous ID range of states
-// discovered during the previous level. Workers claim fixed-size chunks
-// of the frontier (dynamic scheduling via an atomic cursor), expand each
-// state with fully private scratch (expander, decode buffer, encode
-// buffer), intern successor encodings into a lock-striped shard table,
+// The frontier of each BFS level is the sequence of state keys pushed
+// during the previous level's merge, served by the store either from a
+// hot in-RAM buffer or from an on-disk run file (invisible to this
+// file). Workers claim fixed-size chunks of the frontier (dynamic
+// scheduling via an atomic cursor), expand each state with fully
+// private scratch (expander, decode state, encode buffer, chunk
+// reader), intern successor encodings into the store's sharded table,
 // and append their transitions — in symbolic form — to a per-worker
-// buffer. A single-threaded merge then walks the frontier in state order,
-// assigns IDs to newly discovered states in exactly the order the
-// sequential explorer would (frontier states ascending, transitions in
-// per-state emission order), resolves action and label IDs through the
-// same memoized interner, and bulk-appends each row to the CSR builder.
+// buffer. A single-threaded merge then walks the frontier in state
+// order, assigns IDs to newly discovered states in exactly the order
+// the sequential explorer would (frontier states ascending, transitions
+// in per-state emission order), resolves action and label IDs through
+// the same memoized interner, and bulk-appends each row to the CSR
+// builder. After the merge the level is closed: if the store is over
+// its memory budget, the closed intern-table generation spills to disk
+// — at that point every entry of the generation carries its final ID,
+// so the spill moves bytes, never decisions.
 //
 // Consequently the produced LTS — state numbering, transition order,
 // alphabet interning, deadlock list — is identical to the sequential
-// explorer's for every worker count; only wall-clock time changes.
+// explorer's for every worker count and every memory budget; only
+// wall-clock time and memory residency change.
 
-// stEntry is one interned state of the sharded table. id stays -1 until
-// the deterministic merge assigns the state its discovery-order ID.
-type stEntry struct {
-	key []byte
-	id  int32
-}
-
-// tableShards is the number of lock stripes; a power of two so shard
-// selection is a mask.
-const tableShards = 64
-
-type tableShard struct {
-	mu sync.Mutex
-	m  map[string]*stEntry
-	_  [40]byte // pad to a cache line so shard locks don't false-share
-}
-
-// stateTable is the shared intern table of canonical state encodings,
-// sharded by key hash. The hash only picks the stripe — it never
-// influences the produced LTS.
-type stateTable struct {
-	shards [tableShards]tableShard
-}
-
-func newStateTable() *stateTable {
-	t := &stateTable{}
-	for i := range t.shards {
-		t.shards[i].m = make(map[string]*stEntry)
-	}
-	return t
-}
-
-func fnv1a(b []byte) uint32 {
-	h := uint32(2166136261)
-	for _, c := range b {
-		h ^= uint32(c)
-		h *= 16777619
-	}
-	return h
-}
-
-// intern returns the table entry for key, creating an unnumbered one
-// (id == -1) on first sight. Safe for concurrent use.
-func (t *stateTable) intern(key []byte) *stEntry {
-	s := &t.shards[fnv1a(key)&(tableShards-1)]
-	s.mu.Lock()
-	e, ok := s.m[string(key)]
-	if !ok {
-		kc := append([]byte(nil), key...)
-		e = &stEntry{key: kc, id: -1}
-		s.m[bytesString(kc)] = e
-	}
-	s.mu.Unlock()
-	return e
-}
-
-// ptrans is one worker-recorded transition: the symbolic action plus the
-// successor's table entry, resolved to IDs during the merge.
+// ptrans is one worker-recorded transition: the symbolic action plus
+// the successor's store reference, resolved to IDs during the merge.
 type ptrans struct {
-	entry *stEntry
-	sym   symTrans
+	ref statestore.Ref
+	sym symTrans
 }
 
 // rowRef locates one frontier state's transitions inside a worker buffer.
@@ -103,51 +58,71 @@ type pworker struct {
 	cur   *state
 	buf   []byte
 	trs   []ptrans
-	table *stateTable
+	cdc   codec
+	store *statestore.Store
+	chunk statestore.ChunkReader
 }
 
 // emit implements transSink: canonicalize and encode the successor,
-// intern it into the shared table, and buffer the transition.
+// intern it into the shared store, and buffer the transition.
 func (w *pworker) emit(x *expander, tr symTrans) bool {
 	x.canon.run(x.succ)
-	w.buf = encode(w.buf[:0], x.succ)
-	w.trs = append(w.trs, ptrans{entry: w.table.intern(w.buf), sym: tr})
+	w.buf = w.cdc.encode(w.buf[:0], x.succ)
+	w.trs = append(w.trs, ptrans{ref: w.store.Intern(w.buf), sym: tr})
 	return true
 }
 
 // frontierChunk is how many frontier states a worker claims at a time:
-// large enough to amortize the atomic cursor, small enough to balance
-// uneven expansion costs.
+// large enough to amortize the atomic cursor (and, for spilled levels,
+// the ReadAt round trip), small enough to balance uneven expansion
+// costs.
 const frontierChunk = 64
 
-func exploreParallel(ctx context.Context, p *Program, opt Options, acts, labels *lts.Alphabet, limit, workers int) (*lts.LTS, *Info, error) {
-	table := newStateTable()
+func exploreParallel(ctx context.Context, p *Program, opt Options, cdc codec, acts, labels *lts.Alphabet, limit, workers int) (*lts.LTS, *Info, error) {
+	startTime := time.Now()
+	store, err := statestore.Open(statestore.Config{MemBudget: opt.MemBudget, Dir: opt.SpillDir})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Spill files and mmap regions are released on every exit path —
+	// success, cancellation, state-limit abort, I/O error.
+	defer store.Close()
 	ai := newActionInterner(p, acts, labels)
 
-	// Intern the initial state as state 0.
+	// Intern the initial state as state 0 and seed the first frontier.
 	init := initialState(p, opt)
 	canon := newCanonicalizer(p, p.HeapCap+1)
 	canon.run(init)
-	ent := table.intern(encode(nil, init))
-	ent.id = 0
-	keys := [][]byte{ent.key}
+	ref := store.Intern(cdc.encode(nil, init))
+	ref.Ent.ID = 0
+	numStates := 1
+	if err := store.PushFrontier(ref.Ent.Key); err != nil {
+		return nil, nil, err
+	}
 
 	ws := make([]*pworker, workers)
 	for i := range ws {
 		ws[i] = &pworker{
 			x:     newExpander(p, opt.Threads),
 			cur:   newScratchState(p, opt.Threads),
-			table: table,
+			cdc:   cdc,
+			store: store,
 		}
 	}
 
 	info := &Info{}
 	csr := lts.NewCSRBuilder(acts, labels)
 	var row []lts.Transition
-	for lo := 0; lo < len(keys); {
-		hi := len(keys)
-		frontier := keys[lo:hi]
-		n := len(frontier)
+	base := 0 // ID of the first state of the current level
+	for {
+		lvl, err := store.NextLevel()
+		if err != nil {
+			return nil, nil, err
+		}
+		n := lvl.Len()
+		if n == 0 {
+			break
+		}
 		rows := make([]rowRef, n)
 
 		// Expand phase: workers claim chunks until the frontier is drained.
@@ -155,6 +130,7 @@ func exploreParallel(ctx context.Context, p *Program, opt Options, acts, labels 
 		if maxUseful := (n + frontierChunk - 1) / frontierChunk; nw > maxUseful {
 			nw = maxUseful
 		}
+		readErrs := make([]error, nw)
 		var cursor atomic.Int64
 		var wg sync.WaitGroup
 		for wi := 0; wi < nw; wi++ {
@@ -178,11 +154,16 @@ func exploreParallel(ctx context.Context, p *Program, opt Options, acts, labels 
 					if end > n {
 						end = n
 					}
-					for i := start; i < end; i++ {
-						decode(frontier[i], w.cur)
+					keys, err := lvl.Chunk(start, end, &w.chunk)
+					if err != nil {
+						readErrs[windex] = err
+						return
+					}
+					for i, key := range keys {
+						w.cdc.decode(key, w.cur)
 						t0 := len(w.trs)
 						cnt := w.x.expandState(w.cur, w)
-						rows[i] = rowRef{
+						rows[start+i] = rowRef{
 							start:    t0,
 							end:      len(w.trs),
 							worker:   windex,
@@ -195,6 +176,11 @@ func exploreParallel(ctx context.Context, p *Program, opt Options, acts, labels 
 		wg.Wait()
 		if ctx.Err() != nil {
 			return nil, nil, canceled(ctx, p.Name)
+		}
+		for _, e := range readErrs {
+			if e != nil {
+				return nil, nil, fmt.Errorf("machine: %s: frontier read: %w", p.Name, e)
+			}
 		}
 
 		// Merge phase: deterministic ID assignment and bulk CSR emission.
@@ -211,25 +197,52 @@ func exploreParallel(ctx context.Context, p *Program, opt Options, acts, labels 
 			trs := ws[r.worker].trs[r.start:r.end]
 			row = row[:0]
 			for _, tr := range trs {
-				ent := tr.entry
-				if ent.id < 0 {
-					if len(keys) >= limit {
-						return nil, nil, &StateLimitError{Program: p.Name, Limit: limit}
+				var dst int32
+				if ent := tr.ref.Ent; ent != nil {
+					if ent.ID < 0 {
+						// The state budget counts interned states; whether
+						// earlier states are resident or spilled is
+						// irrelevant to the limit.
+						if numStates >= limit {
+							return nil, nil, &StateLimitError{Program: p.Name, Limit: limit}
+						}
+						ent.ID = int32(numStates)
+						numStates++
+						if err := store.PushFrontier(ent.Key); err != nil {
+							return nil, nil, err
+						}
 					}
-					ent.id = int32(len(keys))
-					keys = append(keys, ent.key)
+					dst = ent.ID
+				} else {
+					dst = tr.ref.ID
 				}
 				act, lbl := ai.resolve(tr.sym)
-				row = append(row, lts.Transition{Action: act, Label: lbl, Dst: ent.id})
+				row = append(row, lts.Transition{Action: act, Label: lbl, Dst: dst})
 			}
-			if err := csr.EmitRow(int32(lo+i), row); err != nil {
+			if err := csr.EmitRow(int32(base+i), row); err != nil {
 				return nil, nil, err
 			}
 			if r.deadlock {
-				info.Deadlocks = append(info.Deadlocks, int32(lo+i))
+				info.Deadlocks = append(info.Deadlocks, int32(base+i))
 			}
 		}
-		lo = hi
+		base += n
+		if err := store.EndLevel(); err != nil {
+			return nil, nil, err
+		}
 	}
-	return csr.Build(len(keys), 0), info, nil
+
+	st := store.Stats()
+	info.Stats = ExploreStats{
+		Encoding:          cdc.name(),
+		States:            numStates,
+		EncodedBytes:      st.InternedBytes,
+		PeakResidentBytes: st.PeakResidentBytes,
+		PeakRSSBytes:      statestore.ProcessPeakRSS(),
+		SpillFiles:        st.SpillFiles,
+		TableFlushes:      st.TableFlushes,
+		FrontierSpills:    st.FrontierSpills,
+		Elapsed:           time.Since(startTime),
+	}
+	return csr.Build(numStates, 0), info, nil
 }

@@ -1,0 +1,252 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/statestore"
+)
+
+// Encoding values for Options.Encoding.
+const (
+	// EncodingAuto picks the packed codec with the best available layout:
+	// Options.Layout when one was supplied (vet interval narrowing),
+	// otherwise the structural layout derived from the program shape.
+	EncodingAuto = ""
+	// EncodingPacked is EncodingAuto spelled explicitly.
+	EncodingPacked = "packed"
+	// EncodingLegacy forces the original one-byte-per-slot encoding.
+	EncodingLegacy = "legacy"
+)
+
+// StructuralLayout derives a packed state layout for p from program
+// structure alone, with no dataflow information:
+//
+//   - pointer slots (KPtr variables and locals, the Next/A/B node
+//     fields, the heap watermark) are bounded by [0, HeapCap] — the
+//     canonicalizer renames every live cell into that range;
+//   - thread bookkeeping is bounded by its mechanics: status by the
+//     three status codes, method by the method count, pc by the longest
+//     body, ops by the operation budget, arg by the declared argument
+//     domains, lock owners by the thread count, mark bits by one bit;
+//   - every other value slot falls back to the legacy byte window
+//     [EncodeMin, EncodeMax], so the packed codec accepts exactly the
+//     states the legacy codec accepts.
+//
+// It applies to every program, including registry programs without IR.
+// vet.StateLayout narrows the value slots further using its interval
+// fixpoint when the program carries IR.
+func StructuralLayout(p *Program, threads, ops int) *statestore.Layout {
+	hc := int32(p.HeapCap)
+	window := statestore.MakeSlot(EncodeMin, EncodeMax)
+	ptr := statestore.MakeSlot(0, hc)
+
+	lay := &statestore.Layout{
+		Globals:   make([]statestore.Slot, len(p.Globals.Kinds)),
+		Watermark: ptr,
+		Locals:    make([]statestore.Slot, p.NLocals),
+	}
+	for i, k := range p.Globals.Kinds {
+		if k == KPtr {
+			lay.Globals[i] = ptr
+		} else {
+			lay.Globals[i] = window
+		}
+	}
+	lay.Node[statestore.NodeKind] = window
+	lay.Node[statestore.NodeVal] = window
+	lay.Node[statestore.NodeKey] = window
+	lay.Node[statestore.NodeNext] = ptr
+	lay.Node[statestore.NodeA] = ptr
+	lay.Node[statestore.NodeB] = ptr
+	lay.Node[statestore.NodeC] = window
+	lay.Node[statestore.NodeD] = window
+	lay.Node[statestore.NodeMark] = statestore.MakeSlot(0, 1)
+	lay.Node[statestore.NodeLock] = statestore.MakeSlot(0, int32(threads))
+
+	maxPC := 0
+	argLo, argHi := int32(0), int32(0)
+	for mi := range p.Methods {
+		m := &p.Methods[mi]
+		if len(m.Body) > maxPC {
+			maxPC = len(m.Body)
+		}
+		for _, a := range m.Args {
+			if a < argLo {
+				argLo = a
+			}
+			if a > argHi {
+				argHi = a
+			}
+		}
+	}
+	if maxPC == 0 {
+		maxPC = 1
+	}
+	nm := len(p.Methods)
+	if nm == 0 {
+		nm = 1
+	}
+	lay.Thread[statestore.ThreadStatus] = statestore.MakeSlot(0, 2)
+	lay.Thread[statestore.ThreadMethod] = statestore.MakeSlot(0, int32(nm-1))
+	lay.Thread[statestore.ThreadArg] = statestore.MakeSlot(argLo, argHi)
+	lay.Thread[statestore.ThreadPC] = statestore.MakeSlot(0, int32(maxPC-1))
+	lay.Thread[statestore.ThreadRet] = window
+	lay.Thread[statestore.ThreadOps] = statestore.MakeSlot(0, int32(ops))
+	for li := range lay.Locals {
+		if p.localKind(li) == KPtr {
+			lay.Locals[li] = ptr
+		} else {
+			lay.Locals[li] = window
+		}
+	}
+	return lay
+}
+
+// layoutFits sanity-checks that lay matches the shape of p under the
+// given instance bounds; a mis-shaped layout (built for a different
+// program or instance) is discarded rather than risking a mis-encode.
+func layoutFits(p *Program, lay *statestore.Layout, threads, ops int) bool {
+	return lay != nil &&
+		len(lay.Globals) == len(p.Globals.Kinds) &&
+		len(lay.Locals) == p.NLocals &&
+		lay.Watermark.Contains(int32(p.HeapCap)) &&
+		lay.Node[statestore.NodeLock].Contains(int32(threads)) &&
+		lay.Thread[statestore.ThreadOps].Contains(int32(ops))
+}
+
+// codec encodes canonical states to intern keys and back. The zero
+// codec is the legacy one-byte-per-slot encoder; with a layout it is
+// the fixed-width bit-packed encoder. Both are injective on canonical
+// states (for the packed codec: all slots before the heap watermark are
+// fixed-width, so equal encodings agree on the watermark, hence on
+// every field boundary), both are allocation-free once buffers are
+// warm, and the choice is invisible in the produced LTS — only the
+// intern keys differ.
+type codec struct {
+	lay *statestore.Layout
+}
+
+// newCodec resolves the codec for one exploration of p.
+func newCodec(p *Program, opt Options) (codec, error) {
+	switch opt.Encoding {
+	case EncodingLegacy:
+		return codec{}, nil
+	case EncodingAuto, EncodingPacked:
+		lay := opt.Layout
+		if lay != nil && !layoutFits(p, lay, opt.Threads, opt.Ops) {
+			lay = nil
+		}
+		if lay == nil {
+			lay = StructuralLayout(p, opt.Threads, opt.Ops)
+		}
+		return codec{lay: lay}, nil
+	default:
+		return codec{}, fmt.Errorf("machine: %s: unknown state encoding %q", p.Name, opt.Encoding)
+	}
+}
+
+// name reports the codec for telemetry.
+func (c codec) name() string {
+	if c.lay == nil {
+		return "legacy"
+	}
+	return "packed"
+}
+
+// encode serializes a canonicalized state, in exactly the traversal
+// order of the legacy encoder.
+func (c codec) encode(buf []byte, st *state) []byte {
+	if c.lay == nil {
+		return encode(buf, st)
+	}
+	lay := c.lay
+	var w statestore.BitWriter
+	w.Reset(buf)
+	g := st.g
+	for i, v := range g.Vars {
+		w.Put(lay.Globals[i], v)
+	}
+	hw := 0
+	for i := len(g.Heap) - 1; i >= 1; i-- {
+		if g.Heap[i] != (Node{}) {
+			hw = i
+			break
+		}
+	}
+	w.Put(lay.Watermark, int32(hw))
+	for i := 1; i <= hw; i++ {
+		n := &g.Heap[i]
+		w.Put(lay.Node[statestore.NodeKind], n.Kind)
+		w.Put(lay.Node[statestore.NodeVal], n.Val)
+		w.Put(lay.Node[statestore.NodeKey], n.Key)
+		w.Put(lay.Node[statestore.NodeNext], n.Next)
+		w.Put(lay.Node[statestore.NodeA], n.A)
+		w.Put(lay.Node[statestore.NodeB], n.B)
+		w.Put(lay.Node[statestore.NodeC], n.C)
+		w.Put(lay.Node[statestore.NodeD], n.D)
+		m := int32(0)
+		if n.Mark {
+			m = 1
+		}
+		w.Put(lay.Node[statestore.NodeMark], m)
+		w.Put(lay.Node[statestore.NodeLock], n.Lock)
+	}
+	for ti := range st.th {
+		th := &st.th[ti]
+		w.Put(lay.Thread[statestore.ThreadStatus], th.status)
+		w.Put(lay.Thread[statestore.ThreadMethod], th.method)
+		w.Put(lay.Thread[statestore.ThreadArg], th.arg)
+		w.Put(lay.Thread[statestore.ThreadPC], th.pc)
+		w.Put(lay.Thread[statestore.ThreadRet], th.ret)
+		w.Put(lay.Thread[statestore.ThreadOps], th.ops)
+		for li, l := range th.locals {
+			w.Put(lay.Locals[li], l)
+		}
+	}
+	return w.Finish()
+}
+
+// decode reconstructs a state into st, which must be shaped for the
+// program.
+func (c codec) decode(buf []byte, st *state) {
+	if c.lay == nil {
+		decode(buf, st)
+		return
+	}
+	lay := c.lay
+	var r statestore.BitReader
+	r.Reset(buf)
+	g := st.g
+	for vi := range g.Vars {
+		g.Vars[vi] = r.Get(lay.Globals[vi])
+	}
+	hw := int(r.Get(lay.Watermark))
+	for hi := 1; hi <= hw; hi++ {
+		n := &g.Heap[hi]
+		n.Kind = r.Get(lay.Node[statestore.NodeKind])
+		n.Val = r.Get(lay.Node[statestore.NodeVal])
+		n.Key = r.Get(lay.Node[statestore.NodeKey])
+		n.Next = r.Get(lay.Node[statestore.NodeNext])
+		n.A = r.Get(lay.Node[statestore.NodeA])
+		n.B = r.Get(lay.Node[statestore.NodeB])
+		n.C = r.Get(lay.Node[statestore.NodeC])
+		n.D = r.Get(lay.Node[statestore.NodeD])
+		n.Mark = r.Get(lay.Node[statestore.NodeMark]) != 0
+		n.Lock = r.Get(lay.Node[statestore.NodeLock])
+	}
+	for hi := hw + 1; hi < len(g.Heap); hi++ {
+		g.Heap[hi] = Node{}
+	}
+	for ti := range st.th {
+		th := &st.th[ti]
+		th.status = r.Get(lay.Thread[statestore.ThreadStatus])
+		th.method = r.Get(lay.Thread[statestore.ThreadMethod])
+		th.arg = r.Get(lay.Thread[statestore.ThreadArg])
+		th.pc = r.Get(lay.Thread[statestore.ThreadPC])
+		th.ret = r.Get(lay.Thread[statestore.ThreadRet])
+		th.ops = r.Get(lay.Thread[statestore.ThreadOps])
+		for li := range th.locals {
+			th.locals[li] = r.Get(lay.Locals[li])
+		}
+	}
+}

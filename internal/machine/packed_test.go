@@ -1,0 +1,145 @@
+package machine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// statesEqual compares two decoded states field by field.
+func statesEqual(a, b *state) bool {
+	if len(a.g.Vars) != len(b.g.Vars) || len(a.g.Heap) != len(b.g.Heap) || len(a.th) != len(b.th) {
+		return false
+	}
+	for i := range a.g.Vars {
+		if a.g.Vars[i] != b.g.Vars[i] {
+			return false
+		}
+	}
+	for i := range a.g.Heap {
+		if a.g.Heap[i] != b.g.Heap[i] {
+			return false
+		}
+	}
+	for i := range a.th {
+		x, y := a.th[i], b.th[i]
+		if x.status != y.status || x.method != y.method || x.arg != y.arg ||
+			x.pc != y.pc || x.ret != y.ret || x.ops != y.ops {
+			return false
+		}
+		for li := range x.locals {
+			if x.locals[li] != y.locals[li] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPackedCodecRoundTrip drives 500 random canonical states per
+// example program through the packed codec and checks three properties:
+// decode(encode(s)) == s, re-encoding the decode reproduces the same
+// bytes (determinism), and packed keys collide exactly when legacy keys
+// do (injectivity agreement, so state identity is codec-independent).
+func TestPackedCodecRoundTrip(t *testing.T) {
+	programs := []*Program{
+		quickProgram(3, 2, []VarKind{KVal, KPtr, KTagged}),
+		quickProgram(1, 0, []VarKind{KVal}),
+		quickProgram(4, 3, []VarKind{KPtr, KTagged, KVal, KPtr}),
+		counterProgram(),
+		bigProgram(),
+	}
+	const heapCap = 6
+	for pi, p := range programs {
+		p := p
+		p.HeapCap = heapCap
+		t.Run(fmt.Sprintf("%s-%d", p.Name, pi), func(t *testing.T) {
+			cdc, err := newCodec(p, Options{Threads: 2, Ops: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cdc.name() != "packed" {
+				t.Fatalf("auto encoding resolved to %q", cdc.name())
+			}
+			leg := codec{}
+			rng := rand.New(rand.NewSource(int64(pi) + 1))
+			can := newCanonicalizer(p, heapCap+1)
+			p2l := map[string]string{} // packed key -> legacy key
+			l2p := map[string]string{} // legacy key -> packed key
+			for trial := 0; trial < 500; trial++ {
+				st := randomState(rng, p, heapCap)
+				can.run(st)
+				packed := append([]byte(nil), cdc.encode(nil, st)...)
+				legacy := append([]byte(nil), leg.encode(nil, st)...)
+				got := &state{
+					g:  &Global{Vars: make([]int32, len(p.Globals.Kinds)), Heap: make([]Node, heapCap+1)},
+					th: []thread{{locals: make([]int32, p.NLocals)}},
+				}
+				cdc.decode(packed, got)
+				if !statesEqual(st, got) {
+					t.Fatalf("trial %d: decode(encode(s)) != s", trial)
+				}
+				if again := cdc.encode(nil, got); !bytes.Equal(again, packed) {
+					t.Fatalf("trial %d: re-encode differs: %x vs %x", trial, again, packed)
+				}
+				if prev, ok := p2l[string(packed)]; ok && prev != string(legacy) {
+					t.Fatalf("trial %d: one packed key maps to two legacy keys", trial)
+				}
+				p2l[string(packed)] = string(legacy)
+				if prev, ok := l2p[string(legacy)]; ok && prev != string(packed) {
+					t.Fatalf("trial %d: one legacy key maps to two packed keys", trial)
+				}
+				l2p[string(legacy)] = string(packed)
+			}
+		})
+	}
+}
+
+// TestPackedSmallerThanLegacy pins the point of the packed codec: on the
+// property-test schema its keys are strictly smaller than the legacy
+// one-byte-per-slot keys.
+func TestPackedSmallerThanLegacy(t *testing.T) {
+	p := quickProgram(3, 2, []VarKind{KVal, KPtr, KTagged})
+	p.HeapCap = 6
+	cdc, err := newCodec(p, Options{Threads: 2, Ops: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	can := newCanonicalizer(p, 7)
+	st := randomState(rng, p, 6)
+	can.run(st)
+	packed := cdc.encode(nil, st)
+	legacy := encode(nil, st)
+	if len(packed) >= len(legacy) {
+		t.Fatalf("packed key (%dB) not smaller than legacy key (%dB)", len(packed), len(legacy))
+	}
+}
+
+// TestNewCodecFallbacks pins codec resolution: legacy by request, an
+// unknown encoding errors, and a mis-shaped layout is dropped for the
+// structural one instead of mis-encoding.
+func TestNewCodecFallbacks(t *testing.T) {
+	p := quickProgram(3, 2, []VarKind{KVal, KPtr, KTagged})
+	p.HeapCap = 6
+	if cdc, err := newCodec(p, Options{Encoding: EncodingLegacy}); err != nil || cdc.name() != "legacy" {
+		t.Fatalf("legacy request: %v %q", err, cdc.name())
+	}
+	if _, err := newCodec(p, Options{Encoding: "zip"}); err == nil {
+		t.Fatal("unknown encoding accepted")
+	}
+	other := quickProgram(1, 0, []VarKind{KVal})
+	other.HeapCap = 2
+	misfit := StructuralLayout(other, 2, 2)
+	cdc, err := newCodec(p, Options{Threads: 2, Ops: 2, Layout: misfit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdc.lay == misfit {
+		t.Fatal("mis-shaped layout was not discarded")
+	}
+	if cdc.lay == nil || len(cdc.lay.Globals) != len(p.Globals.Kinds) {
+		t.Fatalf("fallback layout does not match the program: %+v", cdc.lay)
+	}
+}

@@ -155,7 +155,9 @@ func TestParallelStress(t *testing.T) {
 
 // TestParallelStateLimit checks that the parallel explorer reports the
 // same budget error as the sequential one and that a budget equal to the
-// state count succeeds.
+// state count succeeds. The memory-budget variants pin that MaxStates
+// counts interned states, not resident ones: spilling states to disk
+// must neither loosen nor tighten the limit.
 func TestParallelStateLimit(t *testing.T) {
 	alg, err := algorithms.ByID("treiber")
 	if err != nil {
@@ -168,16 +170,22 @@ func TestParallelStateLimit(t *testing.T) {
 	}
 	n := exact.NumStates()
 	for _, workers := range []int{1, 4} {
-		if _, err := machine.Explore(prog, machine.Options{Threads: 2, Ops: 1, Workers: workers, MaxStates: n}); err != nil {
-			t.Fatalf("workers=%d: budget of exactly %d states should succeed: %v", workers, n, err)
-		}
-		_, err := machine.Explore(prog, machine.Options{Threads: 2, Ops: 1, Workers: workers, MaxStates: n - 1})
-		lim, ok := err.(*machine.StateLimitError)
-		if !ok {
-			t.Fatalf("workers=%d: expected StateLimitError at budget %d, got %v", workers, n-1, err)
-		}
-		if lim.Limit != n-1 {
-			t.Fatalf("workers=%d: error reports limit %d, want %d", workers, lim.Limit, n-1)
+		for _, memBudget := range []int64{0, 1} {
+			opt := machine.Options{Threads: 2, Ops: 1, Workers: workers, MemBudget: memBudget, SpillDir: t.TempDir()}
+			ctx := fmt.Sprintf("workers=%d membudget=%d", workers, memBudget)
+			opt.MaxStates = n
+			if _, err := machine.Explore(prog, opt); err != nil {
+				t.Fatalf("%s: budget of exactly %d states should succeed: %v", ctx, n, err)
+			}
+			opt.MaxStates = n - 1
+			_, err := machine.Explore(prog, opt)
+			lim, ok := err.(*machine.StateLimitError)
+			if !ok {
+				t.Fatalf("%s: expected StateLimitError at budget %d, got %v", ctx, n-1, err)
+			}
+			if lim.Limit != n-1 {
+				t.Fatalf("%s: error reports limit %d, want %d", ctx, lim.Limit, n-1)
+			}
 		}
 	}
 }

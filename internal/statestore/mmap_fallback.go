@@ -1,0 +1,21 @@
+//go:build !unix
+
+package statestore
+
+import "os"
+
+// mmapFile on platforms without syscall.Mmap reads the file into the
+// heap. Correct but without the memory win; spilling still bounds the
+// frontier and sheds map bookkeeping.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	data := make([]byte, size)
+	if size == 0 {
+		return data, false, nil
+	}
+	if _, err := f.ReadAt(data, 0); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -1,0 +1,29 @@
+//go:build unix
+
+package statestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The second result reports
+// whether the bytes are a real mapping (and must be munmap'd) as
+// opposed to a heap copy.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func munmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

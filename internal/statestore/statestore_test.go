@@ -1,0 +1,317 @@
+package statestore_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/statestore"
+)
+
+// TestBitRoundTrip packs randomized values through slots of every width
+// (including zero-bit singletons and negative ranges) and checks the
+// reader recovers each exactly.
+func TestBitRoundTrip(t *testing.T) {
+	slots := []statestore.Slot{
+		statestore.MakeSlot(0, 0),     // singleton, 0 bits
+		statestore.MakeSlot(-5, -5),   // negative singleton
+		statestore.MakeSlot(0, 1),     // 1 bit
+		statestore.MakeSlot(-64, 191), // the legacy byte window
+		statestore.MakeSlot(-3, 12),   // small signed range
+		statestore.MakeSlot(0, 1<<20), // wide slot spanning several bytes
+	}
+	rng := rand.New(rand.NewSource(1))
+	var w statestore.BitWriter
+	var r statestore.BitReader
+	for trial := 0; trial < 200; trial++ {
+		vals := make([]int32, 64)
+		order := make([]statestore.Slot, 64)
+		for i := range vals {
+			s := slots[rng.Intn(len(slots))]
+			order[i] = s
+			vals[i] = s.Lo + rng.Int31n(s.Hi-s.Lo+1)
+		}
+		w.Reset(nil)
+		for i, s := range order {
+			w.Put(s, vals[i])
+		}
+		buf := w.Finish()
+		r.Reset(buf)
+		for i, s := range order {
+			if got := r.Get(s); got != vals[i] {
+				t.Fatalf("trial %d slot %d (%+v): got %d want %d", trial, i, s, got, vals[i])
+			}
+		}
+	}
+}
+
+// TestBitWriterRejectsOutOfRange checks the loud-failure contract: an
+// out-of-range value must panic at encode time, like the legacy encoder.
+func TestBitWriterRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range value")
+		}
+	}()
+	var w statestore.BitWriter
+	w.Reset(nil)
+	w.Put(statestore.MakeSlot(0, 3), 4)
+}
+
+func TestParseBudget(t *testing.T) {
+	good := map[string]int64{
+		"0":      0,
+		"123":    123,
+		"64b":    64,
+		"4KiB":   4 << 10,
+		"4kb":    4 << 10,
+		"64MiB":  64 << 20,
+		"64mb":   64 << 20,
+		"2GiB":   2 << 30,
+		"2g":     2 << 30,
+		"1.5MiB": 3 << 19,
+	}
+	for in, want := range good {
+		got, err := statestore.ParseBudget(in)
+		if err != nil {
+			t.Errorf("ParseBudget(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseBudget(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "-1", "-64MiB", "lots", "12QiB"} {
+		if _, err := statestore.ParseBudget(bad); err == nil {
+			t.Errorf("ParseBudget(%q): expected error", bad)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:             "0 B",
+		512:           "512 B",
+		4 << 10:       "4.0 KiB",
+		64 << 20:      "64.0 MiB",
+		3 << 30:       "3.0 GiB",
+		1<<20 + 1<<19: "1.5 MiB",
+	}
+	for in, want := range cases {
+		if got := statestore.FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// key makes a deterministic, variable-length test key.
+func key(i int) []byte {
+	return []byte(fmt.Sprintf("state-%05d-%s", i, string(rune('a'+i%7))))
+}
+
+// TestStoreInternDedup checks in-RAM interning: first contact allocates
+// an entry with an unassigned ID, a repeat returns the same entry.
+func TestStoreInternDedup(t *testing.T) {
+	s, err := statestore.Open(statestore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r1 := s.Intern(key(1))
+	if r1.Ent == nil || r1.Ent.ID != -1 {
+		t.Fatalf("fresh intern: %+v", r1)
+	}
+	r1.Ent.ID = 7
+	r2 := s.Intern(key(1))
+	if r2.Ent != r1.Ent {
+		t.Fatalf("repeat intern returned a different entry")
+	}
+	if r3 := s.Intern(key(2)); r3.Ent == r1.Ent {
+		t.Fatal("distinct keys shared an entry")
+	}
+	if st := s.Stats(); st.Interned != 2 || st.Spilled() {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestStoreSpillLookup forces table generations to disk with a tiny
+// budget and checks every spilled key still resolves — to its final ID,
+// without a resident entry — while unseen keys still allocate fresh
+// entries.
+func TestStoreSpillLookup(t *testing.T) {
+	dir := t.TempDir()
+	s, err := statestore.Open(statestore.Config{MemBudget: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		ref := s.Intern(key(i))
+		if ref.Ent == nil {
+			t.Fatalf("key %d resolved as spilled before any flush", i)
+		}
+		ref.Ent.ID = int32(i)
+	}
+	if err := s.EndLevel(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.TableFlushes == 0 || st.SpillFiles == 0 || !st.Spilled() {
+		t.Fatalf("expected a flush under a 1-byte budget, stats: %+v", st)
+	}
+	for i := 0; i < n; i++ {
+		ref := s.Intern(key(i))
+		if ref.Ent != nil {
+			t.Fatalf("key %d resident after flush", i)
+		}
+		if ref.ID != int32(i) {
+			t.Fatalf("key %d resolved to ID %d", i, ref.ID)
+		}
+	}
+	if ref := s.Intern(key(n + 1)); ref.Ent == nil || ref.Ent.ID != -1 {
+		t.Fatalf("unseen key after flush: %+v", ref)
+	}
+}
+
+// TestStoreMultiGeneration interleaves flushes and fresh interning
+// across several levels, mimicking the explorer's merge loop.
+func TestStoreMultiGeneration(t *testing.T) {
+	s, err := statestore.Open(statestore.Config{MemBudget: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	next := int32(0)
+	for level := 0; level < 5; level++ {
+		for i := 0; i < 200; i++ {
+			k := key(level*200 + i)
+			if ref := s.Intern(k); ref.Ent != nil {
+				ref.Ent.ID = next
+				next++
+			} else {
+				t.Fatalf("level %d: fresh key resolved as spilled", level)
+			}
+		}
+		// Everything already seen must resolve to its assigned ID, from
+		// whichever generation holds it.
+		for j := 0; j < (level+1)*200; j += 37 {
+			ref := s.Intern(key(j))
+			id := ref.ID
+			if ref.Ent != nil {
+				id = ref.Ent.ID
+			}
+			if id != int32(j) {
+				t.Fatalf("level %d: key %d resolved to %d", level, j, id)
+			}
+		}
+		if err := s.EndLevel(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.TableFlushes < 5 {
+		t.Fatalf("expected a flush per level, stats: %+v", st)
+	}
+}
+
+// TestFrontierHotColdIdentical pushes the same key sequence through an
+// unbudgeted (hot) and a 1-byte-budget (cold) frontier and checks chunked
+// replay returns byte-identical keys in identical order.
+func TestFrontierHotColdIdentical(t *testing.T) {
+	run := func(budget int64) [][]byte {
+		s, err := statestore.Open(statestore.Config{MemBudget: budget, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		const n = 500
+		for i := 0; i < n; i++ {
+			if err := s.PushFrontier(key(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lvl, err := s.NextLevel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lvl.Len() != n {
+			t.Fatalf("level has %d states, want %d", lvl.Len(), n)
+		}
+		var out [][]byte
+		var cr statestore.ChunkReader
+		for start := 0; start < n; start += 64 {
+			end := start + 64
+			if end > n {
+				end = n
+			}
+			keys, err := lvl.Chunk(start, end, &cr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range keys {
+				out = append(out, append([]byte(nil), k...))
+			}
+		}
+		if budget > 0 {
+			if st := s.Stats(); st.FrontierSpills == 0 {
+				t.Fatalf("expected a frontier spill under budget %d, stats: %+v", budget, st)
+			}
+		}
+		return out
+	}
+	hot := run(0)
+	cold := run(1)
+	if len(hot) != len(cold) {
+		t.Fatalf("hot replay has %d keys, cold %d", len(hot), len(cold))
+	}
+	for i := range hot {
+		if string(hot[i]) != string(cold[i]) {
+			t.Fatalf("key %d: hot %q cold %q", i, hot[i], cold[i])
+		}
+		if string(hot[i]) != string(key(i)) {
+			t.Fatalf("key %d replayed out of order: %q", i, hot[i])
+		}
+	}
+}
+
+// TestCloseRemovesSpillDir checks the cleanup contract: after Close, no
+// statestore temp files survive — the leak-check every cancellation and
+// state-limit path relies on.
+func TestCloseRemovesSpillDir(t *testing.T) {
+	dir := t.TempDir()
+	s, err := statestore.Open(statestore.Config{MemBudget: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		ref := s.Intern(key(i))
+		ref.Ent.ID = int32(i)
+		if err := s.PushFrontier(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.NextLevel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EndLevel(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); !st.Spilled() {
+		t.Fatalf("test did not spill, stats: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		t.Errorf("leaked %s", filepath.Join(dir, e.Name()))
+	}
+}

@@ -1,0 +1,420 @@
+package statestore
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Config bounds a Store.
+type Config struct {
+	// MemBudget is the approximate number of bytes of state storage the
+	// store may keep resident (interned keys plus hot frontier bytes plus
+	// bookkeeping); 0 means unlimited, everything stays in RAM. When the
+	// budget is exceeded, closed intern-table generations flush to
+	// append-only temp files and the frontier of the next level goes to an
+	// on-disk run file.
+	MemBudget int64
+	// Dir is the parent directory for the store's private spill
+	// directory; empty uses the OS temp dir. The spill directory and
+	// everything in it are removed by Close.
+	Dir string
+}
+
+// Entry is one resident interned state. ID stays -1 until the explorer's
+// deterministic merge assigns the state its discovery-order ID; Key
+// holds the encoded state until the entry's generation spills (at which
+// point it lives in a generation file and is no longer reachable through
+// an Entry).
+type Entry struct {
+	ID  int32
+	Key []byte
+}
+
+// Ref is the result of an intern: either a resident entry (Ent != nil;
+// inspect and assign Ent.ID) or a hit in a spilled generation, where the
+// state's already-assigned ID is returned directly. Spilled states
+// always carry assigned IDs: generations only close at level
+// boundaries, after the merge has numbered every state of the level.
+type Ref struct {
+	Ent *Entry
+	ID  int32
+}
+
+// numShards is the number of intern-table lock stripes; a power of two
+// so shard selection is a mask. The hash only picks the stripe and the
+// generation index position — it never influences the produced LTS.
+const numShards = 64
+
+// entryOverhead approximates the resident bookkeeping cost of one hot
+// entry beyond its key bytes (Entry struct, map bucket share, pointer).
+const entryOverhead = 56
+
+// genEntryOverhead approximates the resident index cost of one spilled
+// entry (hash, offset, length, ID in the generation index arrays).
+const genEntryOverhead = 14
+
+// shardGen is the in-RAM index of one shard's slice of a spilled
+// generation: entries sorted by hash for binary search, with the key
+// bytes living in the generation's mmap'd file.
+type shardGen struct {
+	data   []byte // whole generation file contents (mmap'd, shared)
+	hashes []uint32
+	offs   []uint32
+	lens   []uint16
+	ids    []int32
+}
+
+// find looks key (with hash h) up in this generation slice.
+func (g *shardGen) find(h uint32, key []byte) (int32, bool) {
+	i := sort.Search(len(g.hashes), func(i int) bool { return g.hashes[i] >= h })
+	for ; i < len(g.hashes) && g.hashes[i] == h; i++ {
+		off, ln := int(g.offs[i]), int(g.lens[i])
+		if ln == len(key) && bytes.Equal(g.data[off:off+ln], key) {
+			return g.ids[i], true
+		}
+	}
+	return 0, false
+}
+
+type shard struct {
+	mu   sync.Mutex
+	hot  map[string]*Entry
+	gens []shardGen // spilled generations, oldest first
+	_    [24]byte   // pad to a cache line so shard locks don't false-share
+}
+
+// generation tracks one spilled generation file for cleanup.
+type generation struct {
+	f      *os.File
+	data   []byte
+	mapped bool
+}
+
+// Stats reports a store's lifetime telemetry.
+type Stats struct {
+	// Interned is the number of distinct states interned.
+	Interned int64
+	// InternedBytes is the summed encoded size of those states; divided
+	// by Interned it gives the effective bytes/state of the encoding.
+	InternedBytes int64
+	// PeakResidentBytes is the high-water mark of the store's resident
+	// set (hot keys, bookkeeping, spilled-generation indexes, hot
+	// frontier bytes).
+	PeakResidentBytes int64
+	// SpillFiles counts every temp file the store created (generation
+	// files plus frontier run files).
+	SpillFiles int
+	// TableFlushes counts intern-table generation flushes.
+	TableFlushes int
+	// FrontierSpills counts levels whose frontier went to a run file.
+	FrontierSpills int
+}
+
+// Spilled reports whether anything left RAM.
+func (s Stats) Spilled() bool { return s.SpillFiles > 0 }
+
+// Store is the explorer's state storage: the sharded intern table and
+// the level-ordered frontier, both subject to one shared memory budget.
+//
+// Concurrency contract: Intern is safe for concurrent use (expansion
+// workers). PushFrontier, NextLevel, EndLevel, Stats and Close are
+// single-threaded explorer-merge operations and must not race with
+// Intern calls (the level-synchronized explorer guarantees this: all
+// workers join before the merge runs).
+type Store struct {
+	cfg    Config
+	dir    string // private spill directory, created on first spill
+	shards [numShards]shard
+
+	resident      atomic.Int64
+	peakResident  atomic.Int64
+	interned      atomic.Int64
+	internedBytes atomic.Int64
+
+	gens    []generation
+	fileSeq int
+	stats   Stats
+
+	cur  *Level // level being expanded
+	next *levelWriter
+
+	closed bool
+}
+
+// Open creates an empty store. The caller must Close it to release any
+// spill files; Close is safe (and cheap) when nothing ever spilled.
+func Open(cfg Config) (*Store, error) {
+	s := &Store{cfg: cfg}
+	for i := range s.shards {
+		s.shards[i].hot = make(map[string]*Entry)
+	}
+	s.next = &levelWriter{s: s}
+	return s, nil
+}
+
+// byteString views b as a string without copying; interned keys are
+// write-once.
+func byteString(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// hash64 is FNV-1a. The low bits pick the shard, the high bits index
+// generation entries.
+func hash64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (s *Store) addResident(delta int64) {
+	r := s.resident.Add(delta)
+	for {
+		p := s.peakResident.Load()
+		if r <= p || s.peakResident.CompareAndSwap(p, r) {
+			return
+		}
+	}
+}
+
+func (s *Store) overBudget() bool {
+	return s.cfg.MemBudget > 0 && s.resident.Load() > s.cfg.MemBudget
+}
+
+// Intern returns the reference for key, creating an unnumbered resident
+// entry (ID == -1) on first sight. Safe for concurrent use; the key
+// buffer may be reused by the caller after the call returns.
+func (s *Store) Intern(key []byte) Ref {
+	h := hash64(key)
+	sh := &s.shards[h&(numShards-1)]
+	h32 := uint32(h >> 32)
+	sh.mu.Lock()
+	if e, ok := sh.hot[byteString(key)]; ok {
+		sh.mu.Unlock()
+		return Ref{Ent: e}
+	}
+	for gi := len(sh.gens) - 1; gi >= 0; gi-- {
+		if id, ok := sh.gens[gi].find(h32, key); ok {
+			sh.mu.Unlock()
+			return Ref{ID: id}
+		}
+	}
+	kc := append([]byte(nil), key...)
+	e := &Entry{ID: -1, Key: kc}
+	sh.hot[byteString(kc)] = e
+	sh.mu.Unlock()
+	s.interned.Add(1)
+	s.internedBytes.Add(int64(len(kc)))
+	s.addResident(int64(len(kc)) + entryOverhead)
+	return Ref{Ent: e}
+}
+
+// ensureDir creates the store's private spill directory on first use.
+func (s *Store) ensureDir() error {
+	if s.dir != "" {
+		return nil
+	}
+	dir, err := os.MkdirTemp(s.cfg.Dir, "bbv-statestore-*")
+	if err != nil {
+		return fmt.Errorf("statestore: create spill dir: %w", err)
+	}
+	s.dir = dir
+	return nil
+}
+
+func (s *Store) newSpillFile(prefix string) (*os.File, error) {
+	if err := s.ensureDir(); err != nil {
+		return nil, err
+	}
+	s.fileSeq++
+	f, err := os.Create(filepath.Join(s.dir, fmt.Sprintf("%s-%06d", prefix, s.fileSeq)))
+	if err != nil {
+		return nil, fmt.Errorf("statestore: create spill file: %w", err)
+	}
+	s.stats.SpillFiles++
+	return f, nil
+}
+
+// flushTable spills every hot intern-table entry into one new
+// append-only generation file and replaces the hot maps with compact
+// sorted indexes over the mmap'd file. Must only run at a level
+// boundary: every hot entry must carry an assigned ID, because after
+// the flush the key bytes are reachable only through the file.
+func (s *Store) flushTable() error {
+	f, err := s.newSpillFile("gen")
+	if err != nil {
+		return err
+	}
+	w := newSpillWriter(f)
+	var off int64
+	var freedBytes int64
+	var spilled int64
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		n := len(sh.hot)
+		if n == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		sg := shardGen{
+			hashes: make([]uint32, 0, n),
+			offs:   make([]uint32, 0, n),
+			lens:   make([]uint16, 0, n),
+			ids:    make([]int32, 0, n),
+		}
+		for _, e := range sh.hot {
+			if e.ID < 0 {
+				sh.mu.Unlock()
+				f.Close()
+				return fmt.Errorf("statestore: internal error: flushing unnumbered entry")
+			}
+			if len(e.Key) > math.MaxUint16 {
+				sh.mu.Unlock()
+				f.Close()
+				return fmt.Errorf("statestore: state encoding of %d bytes exceeds generation record limit", len(e.Key))
+			}
+			if off+int64(len(e.Key)) > math.MaxUint32 {
+				sh.mu.Unlock()
+				f.Close()
+				return fmt.Errorf("statestore: generation file exceeds 4 GiB; use a larger memory budget")
+			}
+			w.write(e.Key)
+			sg.hashes = append(sg.hashes, uint32(hash64(e.Key)>>32))
+			sg.offs = append(sg.offs, uint32(off))
+			sg.lens = append(sg.lens, uint16(len(e.Key)))
+			sg.ids = append(sg.ids, e.ID)
+			off += int64(len(e.Key))
+			freedBytes += int64(len(e.Key)) + entryOverhead
+			e.Key = nil
+		}
+		spilled += int64(n)
+		sortShardGen(&sg)
+		sh.gens = append(sh.gens, sg)
+		sh.hot = make(map[string]*Entry)
+		sh.mu.Unlock()
+	}
+	if err := w.flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("statestore: write generation: %w", err)
+	}
+	data, mapped, err := mmapFile(f, off)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("statestore: map generation: %w", err)
+	}
+	s.gens = append(s.gens, generation{f: f, data: data, mapped: mapped})
+	// Point this flush's shard indexes at the mapped file.
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		if n := len(sh.gens); n > 0 && sh.gens[n-1].data == nil {
+			sh.gens[n-1].data = data
+		}
+		sh.mu.Unlock()
+	}
+	s.addResident(genEntryOverhead*spilled - freedBytes)
+	s.stats.TableFlushes++
+	return nil
+}
+
+// EndLevel closes the level just merged: if the store is over budget
+// and the hot table holds anything worth shedding, the closed
+// generation flushes to disk. Called by the explorer after each merge,
+// when every interned entry carries its final ID.
+func (s *Store) EndLevel() error {
+	if !s.overBudget() {
+		return nil
+	}
+	hot := int64(0)
+	for si := range s.shards {
+		s.shards[si].mu.Lock()
+		hot += int64(len(s.shards[si].hot))
+		s.shards[si].mu.Unlock()
+	}
+	if hot == 0 {
+		return nil
+	}
+	return s.flushTable()
+}
+
+// Stats snapshots the store's telemetry.
+func (s *Store) Stats() Stats {
+	st := s.stats
+	st.Interned = s.interned.Load()
+	st.InternedBytes = s.internedBytes.Load()
+	st.PeakResidentBytes = s.peakResident.Load()
+	return st
+}
+
+// Close releases every resource the store holds: mmap regions, open
+// spill files, and the spill directory itself. It is idempotent and
+// must run on every explorer exit path — success, cancellation and
+// state-limit abort alike.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	for i := range s.gens {
+		g := &s.gens[i]
+		if g.mapped {
+			keep(munmapFile(g.data))
+		}
+		g.data = nil
+		keep(g.f.Close())
+	}
+	s.gens = nil
+	if s.cur != nil && s.cur.f != nil {
+		keep(s.cur.f.Close())
+		s.cur.f = nil
+	}
+	if s.next != nil && s.next.f != nil {
+		keep(s.next.w.flush())
+		keep(s.next.f.Close())
+		s.next.f = nil
+	}
+	if s.dir != "" {
+		keep(os.RemoveAll(s.dir))
+		s.dir = ""
+	}
+	return first
+}
+
+// sortShardGen sorts the four parallel index arrays by hash (ties by
+// file offset, for determinism of the in-RAM index only — lookups are
+// order-insensitive).
+func sortShardGen(g *shardGen) {
+	sort.Sort((*genSort)(g))
+}
+
+type genSort shardGen
+
+func (g *genSort) Len() int { return len(g.hashes) }
+func (g *genSort) Less(i, j int) bool {
+	if g.hashes[i] != g.hashes[j] {
+		return g.hashes[i] < g.hashes[j]
+	}
+	return g.offs[i] < g.offs[j]
+}
+func (g *genSort) Swap(i, j int) {
+	g.hashes[i], g.hashes[j] = g.hashes[j], g.hashes[i]
+	g.offs[i], g.offs[j] = g.offs[j], g.offs[i]
+	g.lens[i], g.lens[j] = g.lens[j], g.lens[i]
+	g.ids[i], g.ids[j] = g.ids[j], g.ids[i]
+}

@@ -1,0 +1,48 @@
+package statestore
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// ProcessPeakRSS returns the process's high-water resident set size in
+// bytes: VmHWM from /proc/self/status where available (Linux),
+// otherwise the Go runtime's OS-reserved bytes as an approximation.
+// Returns 0 only if both sources fail.
+//
+// The value is process-wide and monotone — it reflects everything the
+// process ever held, not one exploration — but it is exactly the number
+// an operator sizing a machine cares about.
+func ProcessPeakRSS() int64 {
+	if v := procStatusKB("VmHWM:"); v > 0 {
+		return v * 1024
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}
+
+// procStatusKB extracts a kB-valued field from /proc/self/status.
+func procStatusKB(field string) int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, field) {
+			continue
+		}
+		fs := strings.Fields(line[len(field):])
+		if len(fs) == 0 {
+			return 0
+		}
+		v, err := strconv.ParseInt(fs[0], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return v
+	}
+	return 0
+}

@@ -33,6 +33,10 @@ type analysis struct {
 	// argIv[mi] is the interval of method mi's argument domain.
 	argIv []interval
 
+	// returns accumulates every value any method can return; thread ret
+	// registers hold 0 or a returned value, so {0} seeds it.
+	returns interval
+
 	// widened is set when the fixpoint failed to converge and every
 	// accumulator was forced to top; value-sensitive findings are then
 	// suppressed rather than guessed.
@@ -71,6 +75,7 @@ func newAnalysis(p *machine.Program, opts Options) *analysis {
 	for i := range a.fields {
 		a.fields[i] = single(0)
 	}
+	a.returns = single(0)
 	return a
 }
 
@@ -294,8 +299,10 @@ func (a *analysis) walk(mi int, seq []machine.Instr, e *env, vis visitor) ([]got
 			edges = append(edges, gotoEdge{target: in.Target, locals: append([]interval(nil), e.locals...)})
 			return edges, nil
 		case machine.IRReturn:
+			rv := a.evalOperand(mi, e, &in.A)
+			a.returns = a.returns.join(rv)
 			if vis != nil {
-				vis.atStore(in, a.evalOperand(mi, e, &in.A))
+				vis.atStore(in, rv)
 			}
 			return edges, nil
 		case machine.IRIfCmp:

@@ -1,0 +1,119 @@
+package vet
+
+import (
+	"repro/internal/machine"
+	"repro/internal/statestore"
+)
+
+// StateLayout exports the interval fixpoint as a packed state layout:
+// machine.StructuralLayout narrowed by the per-variable and per-field
+// value ranges the dataflow analysis proves. The result plugs into
+// machine.Options.Layout; exploration then bit-packs each slot to the
+// width of its proven range instead of a full byte.
+//
+// Narrowing applies to value slots only:
+//
+//   - KVal globals and locals, the Val/Key/C/D node fields and the
+//     thread ret register take their interval accumulators (the same
+//     intervals the overflow analyzer trusts to predict encoding
+//     panics);
+//   - the Kind field takes the set of allocated node kinds (plus 0 for
+//     freed cells), read off the IRAlloc instructions;
+//   - pointer slots (KPtr/KTagged variables, Next/A/B fields, the
+//     watermark) keep their structural [0, HeapCap] bounds: the
+//     canonicalizer renames heap cells between statements, so a
+//     dataflow range on a pointer value need not survive renaming.
+//
+// Locals use the join of every reachable statement's entry environment:
+// encoded states snapshot locals exactly at statement boundaries, and
+// calls and returns zero them (the {0} seed of entry environments).
+//
+// Programs without IR, and analyses that failed to converge (widened),
+// return the structural layout unchanged — still packed, just without
+// interval narrowing. The layout is only valid for explorations with
+// the same Threads and Ops as opts.
+func StateLayout(p *machine.Program, opts Options) *statestore.Layout {
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = 2
+	}
+	ops := opts.Ops
+	if ops <= 0 {
+		ops = 2
+	}
+	lay := machine.StructuralLayout(p, threads, ops)
+	if !hasIR(p) {
+		return lay
+	}
+	a := newAnalysis(p, opts)
+	a.runIntervals()
+	if a.widened {
+		return lay
+	}
+	narrow := func(s statestore.Slot, ivl interval) statestore.Slot {
+		if !ivl.def || ivl.isTop() {
+			return s
+		}
+		return statestore.MakeSlot(ivl.lo, ivl.hi)
+	}
+	for i, k := range p.Globals.Kinds {
+		if k == machine.KVal {
+			lay.Globals[i] = narrow(lay.Globals[i], a.globals[i])
+		}
+	}
+	lay.Node[statestore.NodeVal] = narrow(lay.Node[statestore.NodeVal], a.fields[machine.FieldVal])
+	lay.Node[statestore.NodeKey] = narrow(lay.Node[statestore.NodeKey], a.fields[machine.FieldKey])
+	lay.Node[statestore.NodeC] = narrow(lay.Node[statestore.NodeC], a.fields[machine.FieldC])
+	lay.Node[statestore.NodeD] = narrow(lay.Node[statestore.NodeD], a.fields[machine.FieldD])
+	lay.Node[statestore.NodeKind] = narrow(lay.Node[statestore.NodeKind], allocKinds(p))
+	lay.Thread[statestore.ThreadRet] = narrow(lay.Thread[statestore.ThreadRet], a.returns)
+	for li := 0; li < p.NLocals; li++ {
+		if localKindOf(p, li) != machine.KVal {
+			continue
+		}
+		acc := single(0)
+		for mi := range p.Methods {
+			for si := range p.Methods[mi].Body {
+				e := a.entry[mi][si]
+				if e == nil || li >= len(e) {
+					continue
+				}
+				acc = acc.join(e[li])
+			}
+		}
+		lay.Locals[li] = narrow(lay.Locals[li], acc)
+	}
+	return lay
+}
+
+func localKindOf(p *machine.Program, i int) machine.VarKind {
+	if p.LocalKinds == nil {
+		return machine.KVal
+	}
+	return p.LocalKinds[i]
+}
+
+// allocKinds is the interval of node-kind tags a program can ever put
+// in a heap cell: 0 (free) joined with every IRAlloc kind, from the
+// init block and every method body.
+func allocKinds(p *machine.Program) interval {
+	acc := single(0)
+	var scan func(seq []machine.Instr)
+	scan = func(seq []machine.Instr) {
+		for i := range seq {
+			in := &seq[i]
+			if in.Op == machine.IRAlloc {
+				acc = acc.join(single(in.AllocKind))
+			}
+			scan(in.Then)
+			scan(in.Else)
+		}
+	}
+	scan(p.InitIR)
+	for mi := range p.Methods {
+		for si := range p.Methods[mi].Body {
+			scan(p.Methods[mi].Body[si].IR)
+		}
+	}
+	return acc
+}
