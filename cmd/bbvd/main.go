@@ -1,10 +1,13 @@
 // Command bbvd is the verification daemon: it serves the packaged
 // branching-bisimulation checks over HTTP with a bounded job queue, a
-// worker pool, and a content-addressed result cache, so parameter sweeps
+// worker pool, a content-addressed result cache, and (with -store) a
+// persistent artifact store that survives restarts, so parameter sweeps
 // and repeated CI checks hit the cache instead of re-exploring.
 //
-//	bbvd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	bbvd [-addr :8080] [-workers N] [-queue N] [-cache N] [-cache-bytes 256MiB]
 //	     [-job-timeout 5m] [-max-states N]
+//	     [-store DIR] [-store-budget 1GiB]
+//	bbvd -replay DIR
 //
 // API (JSON unless noted):
 //
@@ -25,17 +28,31 @@
 //	                       tau-scc, equivalence, trace-inclusion, ktrace)
 //	                       of the job's artifact session, cache-served
 //	                       stages marked "cached"
+//	GET    /v1/jobs/{id}/events  stream per-stage progress as server-sent
+//	                       events: "stage" events as the session records
+//	                       them, "heartbeat" keep-alives, and a final
+//	                       "done" event carrying the terminal job view
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /v1/jobs        list retained jobs
 //	GET    /v1/algorithms  the algorithm registry
 //	GET    /healthz        liveness
 //	GET    /metrics        counters (Prometheus text format), including
-//	                       per-stage bbvd_stage_runs_total,
-//	                       bbvd_stage_cached_total and
-//	                       bbvd_stage_wall_seconds_total
+//	                       per-stage bbvd_stage_runs_total and the
+//	                       artifact-store gauges bbvd_artifact_store_bytes,
+//	                       bbvd_artifact_evictions_total,
+//	                       bbvd_artifact_quarantined_total and
+//	                       bbvd_sse_clients_active
+//
+// With -store DIR every completed result is persisted content-addressed
+// under its cache key; a daemon restarted onto the same directory serves
+// previously verified jobs as cache hits with byte-identical result
+// JSON. -replay DIR re-verifies every stored job against its stored
+// verdict and exits non-zero on any drift — the accumulated corpus
+// doubles as a regression suite for the verifier.
 //
 // SIGINT/SIGTERM triggers graceful shutdown: intake stops, running jobs
-// drain, and after -drain-timeout stragglers are canceled.
+// drain, completed-but-unpersisted artifacts are flushed to the store,
+// and after -drain-timeout stragglers are canceled.
 package main
 
 import (
@@ -52,6 +69,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/statestore"
 )
 
 func main() {
@@ -59,23 +77,76 @@ func main() {
 	workers := flag.Int("workers", 0, "verification workers (0 = all cores)")
 	queue := flag.Int("queue", 64, "bounded job-queue depth")
 	cache := flag.Int("cache", 256, "result-cache capacity (LRU entries)")
+	cacheBytes := flag.String("cache-bytes", "", "result-cache byte budget, e.g. 256MiB (empty = 256MiB default, \"0\" = entries-only bound)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job timeout (0 = none; jobs may set a shorter timeout_ms)")
 	maxStates := flag.Int("max-states", 0, "state-budget cap applied to every job (0 = library default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs before canceling them")
+	storeDir := flag.String("store", "", "persistent artifact-store directory (empty = in-memory cache only)")
+	storeBudget := flag.String("store-budget", "", "artifact-store on-disk byte budget with LRU eviction, e.g. 1GiB (empty = unlimited)")
+	replayDir := flag.String("replay", "", "re-verify every artifact stored under this directory and exit (non-zero on drift)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *replayDir != "" {
+		if err := replay(ctx, *replayDir); err != nil {
+			log.Fatal("bbvd: ", err)
+		}
+		return
+	}
+
 	cfg := serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheSize:      *cache,
 		DefaultTimeout: *jobTimeout,
 		MaxStates:      *maxStates,
+		StoreDir:       *storeDir,
+		Logf:           log.Printf,
+	}
+	var err error
+	if cfg.CacheBytes, err = parseByteFlag("cache-bytes", *cacheBytes, -1); err != nil {
+		log.Fatal("bbvd: ", err)
+	}
+	if cfg.StoreBudget, err = parseByteFlag("store-budget", *storeBudget, 0); err != nil {
+		log.Fatal("bbvd: ", err)
 	}
 	if err := run(ctx, cfg, *addr, *drainTimeout, nil); err != nil {
 		log.Fatal("bbvd: ", err)
 	}
+}
+
+// parseByteFlag parses a human-readable size flag ("256MiB", "1GB",
+// "4096"). Empty keeps the default; an explicit "0" maps to zeroVal so
+// flags whose zero means "unbounded" can still express it (the serve
+// Config uses 0 for "apply default" and negative for "unbounded").
+func parseByteFlag(name, val string, zeroVal int64) (int64, error) {
+	if val == "" {
+		return 0, nil
+	}
+	n, err := statestore.ParseBudget(val)
+	if err != nil {
+		return 0, fmt.Errorf("-%s: %w", name, err)
+	}
+	if n == 0 {
+		return zeroVal, nil
+	}
+	return n, nil
+}
+
+// replay re-verifies the artifact corpus under dir and reports drift.
+func replay(ctx context.Context, dir string) error {
+	rep, err := serve.Replay(ctx, dir, log.Printf)
+	if err != nil {
+		return err
+	}
+	log.Printf("bbvd: replayed %d artifact(s): %d ok, %d drifted, %d failed",
+		rep.Total, rep.Matched, len(rep.Drifted), len(rep.Failed))
+	if !rep.OK() {
+		return errors.New("replay failed: stored verdicts drifted or artifacts did not replay")
+	}
+	return nil
 }
 
 // run starts the service on addr and blocks until ctx is canceled, then
@@ -83,9 +154,13 @@ func main() {
 // stragglers canceled after drainTimeout. When ready is non-nil it
 // receives the bound listen address once the server is accepting.
 func run(ctx context.Context, cfg serve.Config, addr string, drainTimeout time.Duration, ready chan<- string) error {
-	s := serve.New(cfg)
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		s.Close()
 		return err
 	}
 	hs := &http.Server{Handler: s.Handler()}
@@ -96,6 +171,14 @@ func run(ctx context.Context, cfg serve.Config, addr string, drainTimeout time.D
 		}
 	}()
 	eff := s.Config()
+	if st := s.Store(); st != nil {
+		budget := "unlimited"
+		if eff.StoreBudget > 0 {
+			budget = statestore.FormatBytes(eff.StoreBudget)
+		}
+		log.Printf("bbvd: artifact store %s (%d artifact(s), %s on disk, budget %s)",
+			st.Root(), st.Len(), statestore.FormatBytes(st.Bytes()), budget)
+	}
 	log.Printf("bbvd: serving on %s (%d workers, queue %d, cache %d)",
 		ln.Addr(), eff.Workers, eff.QueueDepth, eff.CacheSize)
 	if ready != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
@@ -49,6 +50,117 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("run did not exit after context cancellation")
+	}
+}
+
+// bootDaemon starts run() on an ephemeral port and returns the bound
+// address plus a shutdown function that waits for a clean exit.
+func bootDaemon(t *testing.T, cfg serve.Config) (addr string, shutdown func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, cfg, "127.0.0.1:0", 10*time.Second, ready)
+	}()
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		cancel()
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("server never became ready")
+	}
+	return addr, func() {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("shutdown returned %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("run did not exit after context cancellation")
+		}
+	}
+}
+
+// submitAndAwait posts spec and polls the job to a terminal view.
+func submitAndAwait(t *testing.T, addr string, spec map[string]any) map[string]any {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := view["id"].(string)
+	if id == "" {
+		t.Fatalf("submission response has no job id: %v", view)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch view["status"] {
+		case "done":
+			return view
+		case "failed", "canceled":
+			t.Fatalf("job %s ended %v: %v", id, view["status"], view["error"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return nil
+}
+
+// TestRestartReplaySmoke is the end-to-end persistence smoke: two jobs
+// verified by one daemon instance are served as cache hits by a second
+// instance restarted onto the same store directory, and -replay over
+// the accumulated corpus passes.
+func TestRestartReplaySmoke(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serve.Config{Workers: 2, StoreDir: dir}
+
+	addr, shutdown := bootDaemon(t, cfg)
+	jobs := []map[string]any{
+		{"kind": "check", "algorithm": "treiber", "threads": 2, "ops": 1},
+		{"kind": "explore", "algorithm": "treiber", "threads": 2, "ops": 1},
+	}
+	firstResults := make([]any, len(jobs))
+	for i, spec := range jobs {
+		firstResults[i] = submitAndAwait(t, addr, spec)["result"]
+	}
+	shutdown() // flushes any unpersisted artifacts
+
+	addr, shutdown = bootDaemon(t, cfg)
+	for i, spec := range jobs {
+		view := submitAndAwait(t, addr, spec)
+		if cached, _ := view["cached"].(bool); !cached {
+			t.Fatalf("restarted daemon did not serve job %d from the store: %v", i, view)
+		}
+		a, _ := json.Marshal(firstResults[i])
+		b, _ := json.Marshal(view["result"])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("job %d result JSON changed across restart:\nbefore: %s\nafter:  %s", i, a, b)
+		}
+	}
+	shutdown()
+
+	if err := replay(context.Background(), dir); err != nil {
+		t.Fatalf("replay over the smoke corpus failed: %v", err)
 	}
 }
 

@@ -460,26 +460,31 @@ type StageJSON struct {
 	StatesPerSec  float64 `json:"states_per_sec,omitempty"`
 }
 
+// StageJSONOf converts one core stage stat to wire form.
+func StageJSONOf(st core.StageStat) StageJSON {
+	return StageJSON{
+		Stage:          st.Stage,
+		Target:         st.Target,
+		ElapsedUS:      st.Elapsed.Microseconds(),
+		StatesIn:       st.StatesIn,
+		TransitionsIn:  st.TransitionsIn,
+		StatesOut:      st.StatesOut,
+		TransitionsOut: st.TransitionsOut,
+		Rounds:         st.Rounds,
+		Cached:         st.Cached,
+		Encoding:       st.Encoding,
+		BytesPerState:  st.BytesPerState,
+		PeakRSSBytes:   st.PeakRSSBytes,
+		SpillFiles:     st.SpillFiles,
+		StatesPerSec:   st.StatesPerSec,
+	}
+}
+
 // StagesJSON converts core stage stats to wire form.
 func StagesJSON(stats []core.StageStat) []StageJSON {
 	out := make([]StageJSON, 0, len(stats))
 	for _, st := range stats {
-		out = append(out, StageJSON{
-			Stage:          st.Stage,
-			Target:         st.Target,
-			ElapsedUS:      st.Elapsed.Microseconds(),
-			StatesIn:       st.StatesIn,
-			TransitionsIn:  st.TransitionsIn,
-			StatesOut:      st.StatesOut,
-			TransitionsOut: st.TransitionsOut,
-			Rounds:         st.Rounds,
-			Cached:         st.Cached,
-			Encoding:       st.Encoding,
-			BytesPerState:  st.BytesPerState,
-			PeakRSSBytes:   st.PeakRSSBytes,
-			SpillFiles:     st.SpillFiles,
-			StatesPerSec:   st.StatesPerSec,
-		})
+		out = append(out, StageJSONOf(st))
 	}
 	return out
 }
@@ -523,6 +528,16 @@ func (r *Result) StatesExplored() int64 {
 // bisim.CanceledError, both unwrapping to the context cause). The spec
 // is normalized and validated first.
 func Run(ctx context.Context, spec JobSpec) (*Result, error) {
+	return RunObserved(ctx, spec, nil)
+}
+
+// RunObserved is Run with a live stage observer: when observe is
+// non-nil, it is invoked with each pipeline stage's instrumentation the
+// moment the stage completes (cache-served stages included), in
+// execution order — the event source behind the daemon's per-job SSE
+// stream. The observer is called from the job's worker goroutine with
+// the session mutex held, so it must be fast and must not block.
+func RunObserved(ctx context.Context, spec JobSpec, observe func(StageJSON)) (*Result, error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -532,28 +547,32 @@ func Run(ctx context.Context, spec JobSpec) (*Result, error) {
 		return nil, err
 	}
 	if spec.ModelSource != "" {
-		return runGuarded(ctx, alg, spec)
+		return runGuarded(ctx, alg, spec, observe)
 	}
-	return run(ctx, alg, spec)
+	return run(ctx, alg, spec, observe)
 }
 
 // runGuarded executes a model job with a panic guard: a well-typed model
 // can still fail at runtime (nil dereference, heap exhaustion), and the
 // compiled program reports those as panics carrying the source position.
 // Registry algorithms run unguarded — a panic there is a bug, not input.
-func runGuarded(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (res *Result, err error) {
+func runGuarded(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec, observe func(StageJSON)) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("api: model runtime error: %v", r)
 		}
 	}()
-	return run(ctx, alg, spec)
+	return run(ctx, alg, spec, observe)
 }
 
-func run(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec) (*Result, error) {
+func run(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec, observe func(StageJSON)) (*Result, error) {
+	cfg := spec.coreConfig()
+	if observe != nil {
+		cfg.StageObserver = func(st core.StageStat) { observe(StageJSONOf(st)) }
+	}
 	// One artifact session serves every stage of the job, so however many
 	// checks it combines, each program is explored and quotiented once.
-	sess := core.NewSession(spec.coreConfig())
+	sess := core.NewSession(cfg)
 	res := &Result{Spec: spec}
 	var err error
 	switch spec.Kind {

@@ -1,0 +1,57 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ResultSchemaVersion is the current persisted-result envelope schema.
+// Bump it when the envelope or Result wire format changes incompatibly;
+// readers reject versions they do not understand rather than
+// misinterpreting stored bytes.
+const ResultSchemaVersion = 1
+
+// ResultEnvelope is the persisted form of a completed job's result, as
+// written into the daemon's artifact store: the schema version, the
+// canonical content key the result is addressed by (JobSpec.CacheKey of
+// the embedded spec), and the result itself. The envelope — not the bare
+// Result — is what survives restarts, so a stored artifact is
+// self-describing: replay can recover the spec from Result.Spec and
+// detect a result that no longer matches its address.
+type ResultEnvelope struct {
+	Schema int     `json:"schema"`
+	Key    string  `json:"key"`
+	Result *Result `json:"result"`
+}
+
+// EncodeResultEnvelope serializes res under key as a
+// newline-terminated envelope document. Encoding is deterministic
+// (struct-ordered fields, no maps), so equal results produce identical
+// bytes — the property that lets a restarted daemon serve byte-identical
+// result JSON.
+func EncodeResultEnvelope(key string, res *Result) ([]byte, error) {
+	if res == nil {
+		return nil, fmt.Errorf("api: nil result")
+	}
+	data, err := json.Marshal(ResultEnvelope{Schema: ResultSchemaVersion, Key: key, Result: res})
+	if err != nil {
+		return nil, fmt.Errorf("api: encode result envelope: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeResultEnvelope parses a persisted envelope, rejecting unknown
+// schema versions and envelopes without a result.
+func DecodeResultEnvelope(data []byte) (*ResultEnvelope, error) {
+	var env ResultEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("api: decode result envelope: %w", err)
+	}
+	if env.Schema != ResultSchemaVersion {
+		return nil, fmt.Errorf("api: unsupported result schema %d (this build reads %d)", env.Schema, ResultSchemaVersion)
+	}
+	if env.Result == nil {
+		return nil, fmt.Errorf("api: result envelope has no result")
+	}
+	return &env, nil
+}

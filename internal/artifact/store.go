@@ -1,0 +1,400 @@
+// Package artifact is a disk-backed content-addressed blob store for
+// verification results. Each payload is stored under a 64-hex-char
+// SHA-256 key as <root>/ab/cdef.../result.json (two-level fan-out on the
+// key), written atomically (temp file + fsync + rename) and sealed with
+// a checksum trailer so torn or bit-rotted entries are detected on read.
+// A corrupt entry is never served: it is moved to <root>/quarantine/ and
+// counted, both on read and during the startup index rebuild.
+//
+// The store keeps a small resident index (key → on-disk size, LRU
+// ordered) that is rebuilt by scanning the tree on Open, so restarts
+// lose nothing. An optional byte budget bounds total on-disk size with
+// least-recently-used eviction; recency survives restarts approximately
+// via file modification times.
+//
+// The store is safe for concurrent use; all operations serialize on one
+// mutex (payloads are small result documents, so holding it across the
+// file I/O is cheap and makes eviction racing a read trivially sound).
+package artifact
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// resultFile is the payload filename inside each key directory.
+	resultFile = "result.json"
+	// quarantineDir collects corrupt entries under the store root.
+	quarantineDir = "quarantine"
+	// trailerPrefix introduces the checksum trailer line. '#' cannot
+	// start a JSON document, so a sealed file is still recognizably
+	// payload-plus-trailer.
+	trailerPrefix = "#sha256="
+)
+
+// ErrBadKey rejects keys that are not 64 lowercase hex characters.
+var ErrBadKey = errors.New("artifact: key must be 64 lowercase hex characters")
+
+// ErrCorrupt reports a payload whose checksum trailer is missing or does
+// not match its content.
+var ErrCorrupt = errors.New("artifact: corrupt entry")
+
+// validKey reports whether key is a well-formed content address.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Seal appends the checksum trailer to payload, producing the exact
+// bytes the store writes to disk. Exposed so tests and tools can forge
+// or inspect entries.
+func Seal(payload []byte) []byte {
+	data := make([]byte, 0, len(payload)+1+len(trailerPrefix)+sha256.Size*2+1)
+	data = append(data, payload...)
+	if len(payload) == 0 || payload[len(payload)-1] != '\n' {
+		data = append(data, '\n')
+	}
+	sum := sha256.Sum256(data)
+	data = append(data, trailerPrefix...)
+	data = append(data, hex.EncodeToString(sum[:])...)
+	data = append(data, '\n')
+	return data
+}
+
+// Unseal verifies data's checksum trailer and returns the payload
+// (without the trailer line). It fails with ErrCorrupt when the trailer
+// is absent, malformed, or does not match.
+func Unseal(data []byte) ([]byte, error) {
+	idx := bytes.LastIndex(data, []byte(trailerPrefix))
+	if idx <= 0 || data[idx-1] != '\n' {
+		return nil, fmt.Errorf("%w: missing checksum trailer", ErrCorrupt)
+	}
+	payload := data[:idx]
+	want := strings.TrimSuffix(string(data[idx+len(trailerPrefix):]), "\n")
+	if len(want) != sha256.Size*2 {
+		return nil, fmt.Errorf("%w: malformed checksum trailer", ErrCorrupt)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	// The seal added a newline if the payload lacked one; returning the
+	// checksummed bytes minus the trailer keeps Seal/Unseal a lossless
+	// pair for newline-terminated payloads and harmlessly appends one
+	// otherwise (JSON ignores trailing whitespace).
+	return payload, nil
+}
+
+// Store is the content-addressed artifact store; create with Open.
+type Store struct {
+	root   string
+	budget int64 // bytes; 0 = unlimited
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	bytes int64
+
+	evictions   atomic.Int64
+	quarantined atomic.Int64
+}
+
+type entry struct {
+	key  string
+	size int64 // sealed on-disk size
+}
+
+// Open creates (if needed) and loads the store rooted at dir, rebuilding
+// the index by scanning the tree: every entry's checksum is verified,
+// corrupt or partially written entries are quarantined, stray temp files
+// from interrupted writes are removed, and recency is restored from file
+// modification times (oldest first). A positive budget bounds total
+// on-disk bytes; the rebuilt set is evicted down to it immediately.
+func Open(dir string, budget int64) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("artifact: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	s := &Store{
+		root:   dir,
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+	}
+	if err := s.rebuild(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// rebuild scans the two-level key tree, verifying every entry.
+func (s *Store) rebuild() error {
+	type found struct {
+		key   string
+		size  int64
+		mtime time.Time
+	}
+	var all []found
+	top, err := os.ReadDir(s.root)
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	for _, d := range top {
+		name := d.Name()
+		if !d.IsDir() {
+			// Interrupted writes leave *.tmp files in the root.
+			if strings.HasSuffix(name, ".tmp") {
+				_ = os.Remove(filepath.Join(s.root, name))
+			}
+			continue
+		}
+		if len(name) != 2 || !validKey(name+strings.Repeat("0", 62)) {
+			continue // quarantine/ and anything else we did not write
+		}
+		subs, err := os.ReadDir(filepath.Join(s.root, name))
+		if err != nil {
+			continue
+		}
+		for _, sub := range subs {
+			key := name + sub.Name()
+			if !sub.IsDir() || !validKey(key) {
+				continue
+			}
+			path := s.pathOf(key)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			if _, err := Unseal(data); err != nil {
+				s.quarantine(key)
+				continue
+			}
+			info, err := os.Stat(path)
+			if err != nil {
+				continue
+			}
+			all = append(all, found{key: key, size: int64(len(data)), mtime: info.ModTime()})
+		}
+	}
+	// Oldest first, so the most recently written entries end up at the
+	// front of the LRU list; ties break on key for determinism.
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].mtime.Equal(all[j].mtime) {
+			return all[i].mtime.Before(all[j].mtime)
+		}
+		return all[i].key < all[j].key
+	})
+	for _, f := range all {
+		s.items[f.key] = s.ll.PushFront(&entry{key: f.key, size: f.size})
+		s.bytes += f.size
+	}
+	return nil
+}
+
+// pathOf is the payload path for key: <root>/ab/cdef.../result.json.
+func (s *Store) pathOf(key string) string {
+	return filepath.Join(s.root, key[:2], key[2:], resultFile)
+}
+
+// quarantine moves key's payload file into the quarantine directory and
+// bumps the counter. Callers have already removed key from the index (or
+// never added it).
+func (s *Store) quarantine(key string) {
+	qdir := filepath.Join(s.root, quarantineDir)
+	_ = os.MkdirAll(qdir, 0o755)
+	src := s.pathOf(key)
+	if err := os.Rename(src, filepath.Join(qdir, key+".json")); err != nil {
+		_ = os.Remove(src) // rename failed; at least never serve it again
+	}
+	_ = os.Remove(filepath.Dir(src))
+	s.quarantined.Add(1)
+}
+
+// removeFiles deletes key's payload and its (now empty) directories.
+func (s *Store) removeFiles(key string) {
+	path := s.pathOf(key)
+	_ = os.Remove(path)
+	_ = os.Remove(filepath.Dir(path))               // <root>/ab/cdef...
+	_ = os.Remove(filepath.Dir(filepath.Dir(path))) // <root>/ab, only if empty
+}
+
+// Put atomically stores payload under key, sealing it with a checksum
+// trailer, then evicts least-recently-used entries if a budget is set.
+// Re-putting an existing key replaces its payload and refreshes its
+// recency.
+func (s *Store) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		return ErrBadKey
+	}
+	data := Seal(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.root, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	} else {
+		_ = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("artifact: %w", err)
+	}
+	path := s.pathOf(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("artifact: %w", err)
+	}
+	size := int64(len(data))
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry)
+		s.bytes += size - e.size
+		e.size = size
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[key] = s.ll.PushFront(&entry{key: key, size: size})
+		s.bytes += size
+	}
+	s.evictLocked()
+	return nil
+}
+
+// Get returns the payload stored under key, refreshing its recency. A
+// missing key is a plain miss; an entry whose checksum fails is
+// quarantined, counted, and reported as a miss — a corrupt artifact is
+// never served.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.pathOf(key))
+	if err != nil {
+		// The file vanished underneath us; drop the stale index entry.
+		s.dropLocked(el)
+		return nil, false
+	}
+	payload, err := Unseal(data)
+	if err != nil {
+		s.dropLocked(el)
+		s.quarantine(key)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return payload, true
+}
+
+// Delete removes key's entry and files; deleting an absent key is a
+// no-op.
+func (s *Store) Delete(key string) {
+	if !validKey(key) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.dropLocked(el)
+		s.removeFiles(key)
+	}
+}
+
+// dropLocked removes el from the index without touching files.
+func (s *Store) dropLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	s.ll.Remove(el)
+	delete(s.items, e.key)
+	s.bytes -= e.size
+}
+
+// evictLocked removes least-recently-used entries (files included) while
+// the store exceeds its byte budget. The most recently used entry is
+// never evicted: a store whose budget is smaller than one artifact
+// degrades to holding exactly that artifact rather than nothing.
+func (s *Store) evictLocked() {
+	if s.budget <= 0 {
+		return
+	}
+	for s.bytes > s.budget && s.ll.Len() > 1 {
+		oldest := s.ll.Back()
+		key := oldest.Value.(*entry).key
+		s.dropLocked(oldest)
+		s.removeFiles(key)
+		s.evictions.Add(1)
+	}
+}
+
+// Len reports the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Bytes reports the total sealed on-disk size of all stored entries.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Keys returns a sorted snapshot of the stored keys.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.items))
+	for k := range s.items {
+		out = append(out, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Evictions reports how many entries the byte budget has evicted.
+func (s *Store) Evictions() int64 { return s.evictions.Load() }
+
+// Quarantined reports how many corrupt entries were quarantined, on read
+// or during startup rebuild.
+func (s *Store) Quarantined() int64 { return s.quarantined.Load() }
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }

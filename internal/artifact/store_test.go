@@ -1,0 +1,311 @@
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// keyFor derives a valid content address from any string.
+func keyFor(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	payload := []byte("{\"x\":1}\n")
+	data := Seal(payload)
+	got, err := Unseal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: got %q, want %q", got, payload)
+	}
+	if _, err := Unseal(payload); err == nil {
+		t.Fatal("unsealed payload without trailer must fail")
+	}
+	data[2] ^= 0x40 // flip a payload bit
+	if _, err := Unseal(data); err == nil {
+		t.Fatal("bit-flipped payload must fail the checksum")
+	}
+}
+
+func TestPutGetLayout(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyFor("a")
+	payload := []byte("{\"result\":42}\n")
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	// The ISSUE-specified layout: <root>/ab/cdef.../result.json.
+	path := filepath.Join(dir, key[:2], key[2:], "result.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("payload not at the content-addressed path: %v", err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	if s.Len() != 1 || s.Bytes() <= int64(len(payload)) {
+		t.Fatalf("Len=%d Bytes=%d; want 1 entry larger than the raw payload (trailer)", s.Len(), s.Bytes())
+	}
+	if _, ok := s.Get(keyFor("missing")); ok {
+		t.Fatal("absent key must miss")
+	}
+	if err := s.Put("not-a-key", payload); err != ErrBadKey {
+		t.Fatalf("bad key Put = %v, want ErrBadKey", err)
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		k := keyFor(fmt.Sprint("entry", i))
+		p := []byte(fmt.Sprintf("{\"i\":%d}\n", i))
+		want[k] = p
+		if err := s.Put(k, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != len(want) {
+		t.Fatalf("rebuilt index has %d entries, want %d", s2.Len(), len(want))
+	}
+	for k, p := range want {
+		got, ok := s2.Get(k)
+		if !ok || !bytes.Equal(got, p) {
+			t.Fatalf("after reopen, Get(%s) = %q, %v; want %q", k[:8], got, ok, p)
+		}
+	}
+	if len(s2.Keys()) != len(want) {
+		t.Fatalf("Keys() = %d, want %d", len(s2.Keys()), len(want))
+	}
+}
+
+func TestCorruptEntryQuarantinedOnRead(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyFor("victim")
+	if err := s.Put(key, []byte("{\"ok\":true}\n")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key[2:], "result.json")
+	data, _ := os.ReadFile(path)
+	data[1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry must never be served")
+	}
+	if s.Quarantined() != 1 {
+		t.Fatalf("Quarantined = %d, want 1", s.Quarantined())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", key+".json")); err != nil {
+		t.Fatalf("corrupt entry not moved to quarantine: %v", err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("quarantined entry must stay gone")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after quarantine, want 0", s.Len())
+	}
+}
+
+func TestRebuildQuarantinesPartialEntryAndRemovesTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := keyFor("good")
+	if err := s.Put(good, []byte("{\"ok\":true}\n")); err != nil {
+		t.Fatal(err)
+	}
+	// A partially written entry: payload present, trailer missing.
+	partial := keyFor("partial")
+	pdir := filepath.Join(dir, partial[:2], partial[2:])
+	if err := os.MkdirAll(pdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pdir, "result.json"), []byte("{\"torn\":"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A stray temp file from an interrupted atomic write.
+	if err := os.WriteFile(filepath.Join(dir, "put-123.tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("rebuilt Len = %d, want 1 (partial entry quarantined)", s2.Len())
+	}
+	if s2.Quarantined() != 1 {
+		t.Fatalf("Quarantined = %d, want 1", s2.Quarantined())
+	}
+	if _, ok := s2.Get(partial); ok {
+		t.Fatal("partial entry must not be served after rebuild")
+	}
+	if _, ok := s2.Get(good); !ok {
+		t.Fatal("good entry must survive rebuild")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "put-123.tmp")); !os.IsNotExist(err) {
+		t.Fatal("stray temp file must be removed on rebuild")
+	}
+}
+
+func TestByteBudgetLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(strings.Repeat("x", 100) + "\n")
+	sealed := int64(len(Seal(payload)))
+	s, err := Open(dir, 3*sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c, d := keyFor("a"), keyFor("b"), keyFor("c"), keyFor("d")
+	for _, k := range []string{a, b, c} {
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b is the least recently used, then overflow the budget.
+	if _, ok := s.Get(a); !ok {
+		t.Fatal("a must be present")
+	}
+	if err := s.Put(d, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(b); ok {
+		t.Fatal("least-recently-used entry b must be evicted")
+	}
+	for _, k := range []string{a, c, d} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("entry %s must survive eviction", k[:8])
+		}
+	}
+	if s.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions())
+	}
+	if s.Bytes() > 3*sealed {
+		t.Fatalf("Bytes = %d over budget %d", s.Bytes(), 3*sealed)
+	}
+	// An entry larger than the whole budget is still kept when it is the
+	// most recent — the store degrades to one artifact, not zero.
+	huge := bytes.Repeat([]byte("y"), int(4*sealed))
+	if err := s.Put(keyFor("huge"), huge); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keyFor("huge")); !ok {
+		t.Fatal("most recent entry must never be evicted")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after oversized put, want 1", s.Len())
+	}
+}
+
+func TestReopenHonorsBudget(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(strings.Repeat("z", 200) + "\n")
+	sealed := int64(len(Seal(payload)))
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := s.Put(keyFor(fmt.Sprint("k", i)), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir, 2*sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2 (evicted down to budget)", s2.Len())
+	}
+	if s2.Bytes() > 2*sealed {
+		t.Fatalf("reopened Bytes = %d over budget", s2.Bytes())
+	}
+}
+
+// TestConcurrentAccess races Put/Get/Delete/Keys over overlapping keys
+// with a budget small enough that eviction constantly races reads; run
+// under -race in CI.
+func TestConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(strings.Repeat("p", 64) + "\n")
+	s, err := Open(dir, 5*int64(len(Seal(payload))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = keyFor(fmt.Sprint("shared", i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := keys[(g+i)%len(keys)]
+				switch i % 4 {
+				case 0, 1:
+					if err := s.Put(k, payload); err != nil {
+						t.Errorf("Put: %v", err)
+					}
+				case 2:
+					if got, ok := s.Get(k); ok && !bytes.Equal(got, payload) {
+						t.Errorf("Get returned wrong payload")
+					}
+				case 3:
+					if i%8 == 3 {
+						s.Delete(k)
+					} else {
+						s.Keys()
+						s.Bytes()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Quarantined() != 0 {
+		t.Fatalf("concurrent access quarantined %d entries", s.Quarantined())
+	}
+	// Whatever survived must still verify, and a reopen must agree.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range s2.Keys() {
+		if got, ok := s2.Get(k); !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("post-race entry %s unreadable", k[:8])
+		}
+	}
+}

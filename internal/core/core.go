@@ -68,6 +68,13 @@ type Config struct {
 	// structural layout. Layouts never change any result, only bytes per
 	// state.
 	LayoutProvider func(p *machine.Program) *statestore.Layout
+	// StageObserver, when set, is invoked with every StageStat the moment
+	// a session records it (freshly computed and cache-served stages
+	// alike), turning the per-stage instrumentation into a live event
+	// source — the daemon streams these over SSE. The observer runs with
+	// the session mutex held: it must be fast and must not call back into
+	// the session. It never changes any result.
+	StageObserver func(StageStat)
 }
 
 func (c Config) options(p *machine.Program, acts, labels *lts.Alphabet) machine.Options {

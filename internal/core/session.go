@@ -118,6 +118,15 @@ func (s *Session) Record(st StageStat) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats = append(s.stats, st)
+	s.observe(st)
+}
+
+// observe forwards a just-recorded stage to the configured observer, if
+// any. Callers hold s.mu.
+func (s *Session) observe(st StageStat) {
+	if s.cfg.StageObserver != nil {
+		s.cfg.StageObserver(st)
+	}
 }
 
 // recorder collects the stages of one check while mirroring them into
@@ -130,6 +139,7 @@ type recorder struct {
 func (r *recorder) add(st StageStat) {
 	r.stages = append(r.stages, st)
 	r.s.stats = append(r.s.stats, st)
+	r.s.observe(st)
 }
 
 // hit re-records a memoized stage as served from cache.

@@ -7,26 +7,32 @@ import (
 )
 
 // resultCache is an LRU map from canonical job cache keys (api.JobSpec
-// CacheKey) to completed results. Verification results are immutable and
-// worker-count independent, so any client that submits a content-equal
-// spec can be answered from here without re-exploring. Not safe for
-// concurrent use; the Server serializes access under its mutex.
+// CacheKey) to completed results, bounded primarily by total result
+// bytes and secondarily by entry count. Verification results are
+// immutable and worker-count independent, so any client that submits a
+// content-equal spec can be answered from here without re-exploring.
+// Not safe for concurrent use; the Server serializes access under its
+// mutex.
 type resultCache struct {
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	cap      int        // entry bound; <= 0 disables caching
+	maxBytes int64      // byte bound; <= 0 means entries-only bounding
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	bytes    int64
 }
 
 type cacheEntry struct {
-	key string
-	res *api.Result
+	key  string
+	res  *api.Result
+	size int64 // encoded result size in bytes
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, maxBytes int64) *resultCache {
 	return &resultCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+		cap:      capacity,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, max(capacity, 0)),
 	}
 }
 
@@ -40,24 +46,37 @@ func (c *resultCache) get(key string) (*api.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-// put stores res under key, evicting the least recently used entry when
-// the cache is full.
-func (c *resultCache) put(key string, res *api.Result) {
+// put stores res (whose encoded form is size bytes) under key, evicting
+// least-recently-used entries past either bound. A result bigger than
+// the whole byte budget is not cached at all: one huge explain result
+// must not evict everything else to claim the cache for itself.
+func (c *resultCache) put(key string, res *api.Result, size int64) {
 	if c.cap <= 0 {
 		return
 	}
-	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
-		c.ll.MoveToFront(el)
+	if c.maxBytes > 0 && size > c.maxBytes {
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
-	for c.ll.Len() > c.cap {
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += size - e.size
+		e.res, e.size = res, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, size: size})
+		c.bytes += size
+	}
+	for c.ll.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
 		oldest := c.ll.Back()
+		e := oldest.Value.(*cacheEntry)
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		delete(c.items, e.key)
+		c.bytes -= e.size
 	}
 }
 
 // len reports the number of cached results.
 func (c *resultCache) len() int { return c.ll.Len() }
+
+// sizeBytes reports the total encoded size of all cached results.
+func (c *resultCache) sizeBytes() int64 { return c.bytes }

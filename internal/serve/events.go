@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SSE event types emitted on GET /v1/jobs/{id}/events.
+const (
+	// EventStage carries one api.StageJSON the moment the stage
+	// completes (cache-served stages included).
+	EventStage = "stage"
+	// EventDone carries the terminal JobView — the full result for
+	// status "done" — and ends the stream.
+	EventDone = "done"
+	// EventHeartbeat is an empty keep-alive emitted while the job runs,
+	// so proxies and clients can distinguish a slow stage from a dead
+	// connection.
+	EventHeartbeat = "heartbeat"
+)
+
+// maxEventHistory bounds the per-job stage-event backlog replayed to
+// late subscribers; jobs emit a handful of stages, so this is a
+// runaway guard, not a working limit.
+const maxEventHistory = 1024
+
+// sseEvent is one server-sent event: a type and a JSON-encodable body.
+type sseEvent struct {
+	Type string
+	Data any
+}
+
+// jobStream is the live event state of one non-terminal job: the stage
+// events published so far (replayed to late subscribers) and the
+// currently connected subscriber channels.
+type jobStream struct {
+	history []sseEvent
+	subs    map[chan sseEvent]struct{}
+}
+
+// eventHub fans per-job stage events out to SSE subscribers. Streams are
+// created when a job is enqueued and torn down when it reaches a
+// terminal status — terminal jobs need no stream, their events are
+// synthesized from the stored result. The hub has its own lock, nested
+// strictly inside Server.mu (hub methods never touch the server), so
+// publishing from a worker goroutine and subscribing under Server.mu
+// cannot deadlock.
+type eventHub struct {
+	mu      sync.Mutex
+	streams map[string]*jobStream
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{streams: make(map[string]*jobStream)}
+}
+
+// create registers an event stream for a freshly enqueued job.
+func (h *eventHub) create(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.streams[id] = &jobStream{subs: make(map[chan sseEvent]struct{})}
+}
+
+// publish appends ev to the job's history and fans it out to current
+// subscribers. Sends never block: a subscriber too slow to drain its
+// buffer misses intermediate stage events but still gets the terminal
+// event (synthesized by its handler on channel close). Publishing to a
+// finished or unknown job is a no-op.
+func (h *eventHub) publish(id string, ev sseEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.streams[id]
+	if !ok {
+		return
+	}
+	if len(st.history) < maxEventHistory {
+		st.history = append(st.history, ev)
+	}
+	for ch := range st.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// finish tears the job's stream down: subscriber channels are closed
+// (each handler then fetches the terminal JobView itself and emits the
+// done event) and the stream is dropped — late subscribers synthesize
+// the whole sequence from the stored result instead.
+func (h *eventHub) finish(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.streams[id]
+	if !ok {
+		return
+	}
+	for ch := range st.subs {
+		close(ch)
+	}
+	delete(h.streams, id)
+}
+
+// subscribe atomically snapshots the job's event history and registers a
+// new subscriber channel. ok is false when the stream is gone (job
+// already terminal).
+func (h *eventHub) subscribe(id string) (history []sseEvent, ch chan sseEvent, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, found := h.streams[id]
+	if !found {
+		return nil, nil, false
+	}
+	ch = make(chan sseEvent, 128)
+	st.subs[ch] = struct{}{}
+	return append([]sseEvent(nil), st.history...), ch, true
+}
+
+// unsubscribe detaches ch; a no-op after finish.
+func (h *eventHub) unsubscribe(id string, ch chan sseEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st, ok := h.streams[id]; ok {
+		delete(st.subs, ch)
+	}
+}
+
+// terminalEvents synthesizes the full event sequence of a finished job
+// from its stored result: one stage event per recorded stage, then the
+// done event. This is what a subscriber connecting after completion —
+// including to a cache-hit job — receives.
+func terminalEvents(v *JobView) []sseEvent {
+	var evs []sseEvent
+	if v.Result != nil {
+		for _, st := range v.Result.Stages {
+			evs = append(evs, sseEvent{Type: EventStage, Data: st})
+		}
+	}
+	return append(evs, sseEvent{Type: EventDone, Data: v})
+}
+
+// subscribeEvents is the server side of an SSE connection: it returns
+// the events to replay immediately and, for a still-running job, a live
+// channel (closed when the job finishes). Holding s.mu across the
+// status check and hub subscription makes the terminal transition
+// race-free: runJob and Cancel finish the stream under the same lock.
+func (s *Server) subscribeEvents(id string) (initial []sseEvent, live chan sseEvent, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	if j.status.Terminal() {
+		return terminalEvents(j.view()), nil, nil
+	}
+	initial, live, ok = s.events.subscribe(id)
+	if !ok {
+		// The stream is already gone; treat as terminal (the job record
+		// is updated under the same lock, so this cannot happen, but a
+		// stale view beats a hang).
+		return terminalEvents(j.view()), nil, nil
+	}
+	return initial, live, nil
+}
+
+// writeSSE renders one event in the text/event-stream framing.
+func writeSSE(w io.Writer, ev sseEvent) error {
+	data, err := json.Marshal(ev.Data)
+	if err != nil {
+		data = []byte("{}")
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
+}
+
+// handleEvents streams a job's per-stage progress as server-sent events:
+// the already-recorded stages first, then live stage events as the
+// session records them, heartbeats in between, and finally the done
+// event with the terminal JobView. For an already-finished job the whole
+// sequence is replayed immediately and the stream closed. Client
+// disconnects are observed via the request context and release the
+// subscription promptly.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	initial, live, err := s.subscribeEvents(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "serve: streaming unsupported by this connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	for _, ev := range initial {
+		if writeSSE(w, ev) != nil {
+			return
+		}
+	}
+	fl.Flush()
+	if live == nil {
+		return // terminal job: full replay done
+	}
+
+	s.metrics.SSEClientsActive.Add(1)
+	defer s.metrics.SSEClientsActive.Add(-1)
+	defer s.events.unsubscribe(id, live)
+	hb := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-hb.C:
+			if writeSSE(w, sseEvent{Type: EventHeartbeat, Data: struct{}{}}) != nil {
+				return
+			}
+			fl.Flush()
+		case ev, open := <-live:
+			if !open {
+				// Stream finished: emit the terminal view and end.
+				if v, err := s.Get(id); err == nil {
+					_ = writeSSE(w, sseEvent{Type: EventDone, Data: v})
+					fl.Flush()
+				}
+				return
+			}
+			if writeSSE(w, ev) != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -16,6 +16,7 @@ const maxBodyBytes = 1 << 20
 //	POST   /v1/jobs        submit a job (api.JobSpec body) → JobView
 //	GET    /v1/jobs        list retained jobs
 //	GET    /v1/jobs/{id}   job status and result
+//	GET    /v1/jobs/{id}/events  per-stage progress, server-sent events
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /v1/algorithms  the packaged algorithm registry
 //	GET    /v1/analyzers   the vet analyzer catalogue
@@ -26,6 +27,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /v1/analyzers", s.handleAnalyzers)
@@ -109,6 +111,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// The store keeps its own authoritative counters; mirror them into
+	// the gauge fields so one scrape sees a consistent snapshot.
+	if s.store != nil {
+		s.metrics.ArtifactStoreBytes.Store(s.store.Bytes())
+		s.metrics.ArtifactEvictionsTotal.Store(s.store.Evictions())
+		s.metrics.ArtifactQuarantinedTotal.Store(s.store.Quarantined())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteText(w)
 }

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/artifact"
+)
+
+// ReplayEntry is the outcome of re-verifying one stored artifact.
+type ReplayEntry struct {
+	Key string
+	// Err is set when the artifact could not be replayed at all
+	// (undecodable envelope, mismatched address, or the re-run failed).
+	Err error
+	// Drift describes a verdict that no longer matches the stored one;
+	// empty when the re-run reproduced the stored result.
+	Drift string
+}
+
+// ReplayReport summarizes a corpus replay.
+type ReplayReport struct {
+	Total   int
+	Matched int
+	Drifted []ReplayEntry
+	Failed  []ReplayEntry
+}
+
+// OK reports whether every stored artifact replayed cleanly.
+func (r *ReplayReport) OK() bool {
+	return len(r.Drifted) == 0 && len(r.Failed) == 0
+}
+
+// Replay opens the artifact store rooted at dir and re-verifies every
+// stored job: each envelope's spec is run afresh and the new verdict
+// compared against the persisted one. Any divergence — a different
+// check/explore/ktrace verdict, a result stored under the wrong address,
+// or a spec whose canonical key no longer matches its directory — lands
+// in the report as drift. This turns the accumulated corpus into a
+// regression suite for the verifier itself: after an algorithm change,
+// `bbvd -replay <dir>` proves the stored verdicts still hold.
+//
+// The store is opened without a byte budget so replay never evicts the
+// corpus it is checking. logf, when non-nil, receives one progress line
+// per artifact.
+func Replay(ctx context.Context, dir string, logf func(format string, args ...any)) (*ReplayReport, error) {
+	store, err := artifact.Open(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &ReplayReport{}
+	// Artifacts quarantined by the opening scan never reach the key
+	// iteration; a corpus that lost entries to corruption must not
+	// replay as clean.
+	if q := store.Quarantined(); q > 0 {
+		logf("replay: %d corrupt artifact(s) quarantined during store open", q)
+		rep.Total += int(q)
+		rep.Failed = append(rep.Failed, ReplayEntry{
+			Err: fmt.Errorf("%d corrupt artifact(s) quarantined during store open", q),
+		})
+	}
+	for _, key := range store.Keys() {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		rep.Total++
+		entry := replayOne(ctx, store, key)
+		switch {
+		case entry.Err != nil:
+			logf("replay %s: ERROR: %v", shortKey(key), entry.Err)
+			rep.Failed = append(rep.Failed, entry)
+		case entry.Drift != "":
+			logf("replay %s: DRIFT: %s", shortKey(key), entry.Drift)
+			rep.Drifted = append(rep.Drifted, entry)
+		default:
+			logf("replay %s: ok", shortKey(key))
+			rep.Matched++
+		}
+	}
+	return rep, nil
+}
+
+// replayOne re-verifies a single stored artifact.
+func replayOne(ctx context.Context, store *artifact.Store, key string) ReplayEntry {
+	entry := ReplayEntry{Key: key}
+	payload, ok := store.Get(key)
+	if !ok {
+		entry.Err = fmt.Errorf("artifact unreadable (quarantined or removed)")
+		return entry
+	}
+	env, err := api.DecodeResultEnvelope(payload)
+	if err != nil {
+		entry.Err = err
+		return entry
+	}
+	if env.Key != key {
+		entry.Drift = fmt.Sprintf("stored under %s but envelope claims key %s", shortKey(key), shortKey(env.Key))
+		return entry
+	}
+	spec := env.Result.Spec
+	if got := spec.CacheKey(); got != key {
+		entry.Drift = fmt.Sprintf("spec no longer hashes to its address (now %s): cache-key scheme changed", shortKey(got))
+		return entry
+	}
+	fresh, err := api.Run(ctx, spec)
+	if err != nil {
+		entry.Err = fmt.Errorf("re-run failed: %w", err)
+		return entry
+	}
+	entry.Drift = diffVerdicts(env.Result, fresh)
+	return entry
+}
+
+// diffVerdicts compares the verdict-bearing sections of two results —
+// timings and stage instrumentation are run-dependent and excluded.
+func diffVerdicts(stored, fresh *api.Result) string {
+	sections := []struct {
+		name         string
+		stored, live any
+	}{
+		{"check", stored.Check, fresh.Check},
+		{"explore", stored.Explore, fresh.Explore},
+		{"ktrace", stored.KTrace, fresh.KTrace},
+	}
+	for _, sec := range sections {
+		a, errA := json.Marshal(sec.stored)
+		b, errB := json.Marshal(sec.live)
+		if errA != nil || errB != nil {
+			return fmt.Sprintf("%s verdict not comparable: %v %v", sec.name, errA, errB)
+		}
+		if !bytes.Equal(a, b) {
+			return fmt.Sprintf("%s verdict changed: stored %s, got %s", sec.name, a, b)
+		}
+	}
+	return ""
+}
+
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

@@ -1,11 +1,15 @@
 // Package serve is the verification serving layer: a bounded job queue
-// feeding a worker pool sized off the machine's cores, an LRU result
-// cache keyed by the canonical content hash of each job spec
-// (api.JobSpec.CacheKey), and stdlib-only metrics. It turns the one-shot
-// bbverify workload — explore, quotient, decide — into a daemon-friendly
-// one: identical requests from any client are answered from the cache
-// instead of re-exploring, abandoned or timed-out jobs cancel their
-// in-flight exploration via context, and shutdown drains running work.
+// feeding a worker pool sized off the machine's cores, a byte-bounded
+// LRU result cache keyed by the canonical content hash of each job spec
+// (api.JobSpec.CacheKey), an optional disk-backed content-addressed
+// artifact store that persists completed results across restarts,
+// per-job progress streaming over SSE, and stdlib-only metrics. It turns
+// the one-shot bbverify workload — explore, quotient, decide — into a
+// daemon-friendly one: identical requests from any client are answered
+// from the cache (or the artifact store, surviving restarts) instead of
+// re-exploring, abandoned or timed-out jobs cancel their in-flight
+// exploration via context, and shutdown drains running work and flushes
+// unpersisted artifacts.
 //
 // The cmd/bbvd daemon exposes this over HTTP; see Handler for the routes.
 package serve
@@ -16,9 +20,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/artifact"
 )
 
 // Config sizes the service.
@@ -31,8 +37,23 @@ type Config struct {
 	// submissions are rejected with ErrQueueFull. 0 defaults to 64.
 	QueueDepth int
 	// CacheSize is the LRU result-cache capacity in entries; 0 defaults
-	// to 256. Negative disables caching.
+	// to 256. Negative disables caching. The entry cap is the secondary
+	// bound — CacheBytes is the primary one.
 	CacheSize int
+	// CacheBytes bounds the in-memory result cache by total encoded
+	// result bytes, so one huge explain result cannot dominate the cache
+	// (results bigger than the whole bound are not cached at all).
+	// 0 defaults to 256 MiB; negative removes the byte bound, leaving
+	// only the entry cap.
+	CacheBytes int64
+	// StoreDir, when non-empty, roots a persistent content-addressed
+	// artifact store: every completed result is written under its cache
+	// key and survives restarts (see internal/artifact). Empty disables
+	// persistence.
+	StoreDir string
+	// StoreBudget bounds the artifact store's on-disk size in bytes with
+	// LRU eviction; 0 = unlimited. Ignored without StoreDir.
+	StoreBudget int64
 	// DefaultTimeout bounds jobs that do not set their own timeout_ms;
 	// 0 means no default bound.
 	DefaultTimeout time.Duration
@@ -44,6 +65,12 @@ type Config struct {
 	// queries; the oldest finished jobs are evicted first. 0 defaults to
 	// 4096.
 	JobHistory int
+	// SSEHeartbeat is the keep-alive interval on /v1/jobs/{id}/events
+	// streams; 0 defaults to 15s.
+	SSEHeartbeat time.Duration
+	// Logf, when set, receives operational log lines (artifact-store
+	// write failures, shutdown flush counts). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -56,10 +83,23 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
 	if c.JobHistory <= 0 {
 		c.JobHistory = 4096
 	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 15 * time.Second
+	}
 	return c
+}
+
+// logf forwards to the configured logger, if any.
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
 }
 
 // Status is a job's lifecycle state.
@@ -121,7 +161,8 @@ type JobView struct {
 	Spec   api.JobSpec `json:"spec"`
 	// CacheKey is the canonical content hash the result is cached under.
 	CacheKey string `json:"cache_key"`
-	// Cached marks a submission answered from the result cache.
+	// Cached marks a submission answered from the result cache (or the
+	// persistent artifact store).
 	Cached bool `json:"cached,omitempty"`
 	// Result is set once Status is "done".
 	Result *api.Result `json:"result,omitempty"`
@@ -141,16 +182,32 @@ func (j *job) view() *JobView {
 	}
 }
 
+// persistItem is one completed result awaiting its artifact-store write.
+type persistItem struct {
+	key     string
+	payload []byte
+}
+
 // Server is the verification service. Create with New, serve its
 // Handler, and stop it with Shutdown (graceful) or Close (immediate).
 type Server struct {
 	cfg     Config
 	metrics Metrics
+	store   *artifact.Store // nil when persistence is disabled
+	events  *eventHub
 
 	baseCtx   context.Context         // canceled to abort all running jobs
 	cancelAll context.CancelCauseFunc // cancels baseCtx
 	queue     chan *job
 	wg        sync.WaitGroup
+
+	// Artifact persistence runs on its own goroutine so job completion
+	// never waits on an fsync; Shutdown flushes whatever is still queued.
+	persistCh    chan persistItem
+	persistWG    sync.WaitGroup
+	persistOnce  sync.Once
+	draining     atomic.Bool
+	flushedAtEnd atomic.Int64
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -160,8 +217,10 @@ type Server struct {
 	closed bool
 }
 
-// New starts a server with cfg's worker pool already running.
-func New(cfg Config) *Server {
+// New starts a server with cfg's worker pool already running. It fails
+// only when Config.StoreDir is set and the artifact store cannot be
+// opened there.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
@@ -170,13 +229,25 @@ func New(cfg Config) *Server {
 		cancelAll: cancel,
 		queue:     make(chan *job, cfg.QueueDepth),
 		jobs:      make(map[string]*job),
-		cache:     newResultCache(cfg.CacheSize),
+		cache:     newResultCache(cfg.CacheSize, cfg.CacheBytes),
+		events:    newEventHub(),
+	}
+	if cfg.StoreDir != "" {
+		store, err := artifact.Open(cfg.StoreDir, cfg.StoreBudget)
+		if err != nil {
+			cancel(nil)
+			return nil, err
+		}
+		s.store = store
+		s.persistCh = make(chan persistItem, 256)
+		s.persistWG.Add(1)
+		go s.persister()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Metrics exposes the server counters.
@@ -185,9 +256,19 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 // Config returns the effective configuration, defaults applied.
 func (s *Server) Config() Config { return s.cfg }
 
+// Store returns the persistent artifact store, or nil when persistence
+// is disabled.
+func (s *Server) Store() *artifact.Store { return s.store }
+
+// FlushedAtShutdown reports how many completed-but-unpersisted artifacts
+// the shutdown drain flushed to the store; meaningful after Shutdown
+// returns.
+func (s *Server) FlushedAtShutdown() int64 { return s.flushedAtEnd.Load() }
+
 // Submit normalizes, validates, vets and enqueues spec, returning the
 // job's initial view: status "done" (with the result) when the
-// canonical cache key hits, "queued" otherwise. It fails with
+// canonical cache key hits — in memory, or in the persistent artifact
+// store after a restart — and "queued" otherwise. It fails with
 // ErrQueueFull when the bounded queue is at capacity, ErrShutdown
 // during shutdown, a validation error for malformed specs, and an
 // *api.VetError carrying structured findings when the pre-exploration
@@ -206,11 +287,12 @@ func (s *Server) Submit(spec api.JobSpec) (*JobView, error) {
 
 	// The vet pass runs once per distinct job, on cache miss only, and
 	// outside the server mutex (its τ-cycle probe executes a bounded
-	// pilot exploration). A submission answered from the cache skips it:
-	// the cached result already carries the pass's warnings, so the
-	// cache-key semantics of warning-free jobs are unchanged.
+	// pilot exploration). A submission answered from the cache — or
+	// promoted from the artifact store — skips it: the stored result
+	// already carries the pass's warnings, so the cache-key semantics of
+	// warning-free jobs are unchanged.
 	var warnings []api.VetFinding
-	if !s.hasCached(key) {
+	if !s.lookup(key) {
 		ws, err := api.VetSpec(spec)
 		s.metrics.RecordVet(ws)
 		if err != nil {
@@ -250,6 +332,9 @@ func (s *Server) Submit(spec api.JobSpec) (*JobView, error) {
 		s.nextID-- // the job never existed
 		return nil, ErrQueueFull
 	}
+	// The event stream must exist before any worker can touch the job;
+	// workers take s.mu first, so creating it here is early enough.
+	s.events.create(j.id)
 	s.metrics.CacheMissesTotal.Add(1)
 	s.metrics.JobsSubmittedTotal.Add(1)
 	s.metrics.JobsQueuedNow.Add(1)
@@ -257,13 +342,37 @@ func (s *Server) Submit(spec api.JobSpec) (*JobView, error) {
 	return j.view(), nil
 }
 
-// hasCached reports whether a result for key is in the cache, without
-// touching anything else.
-func (s *Server) hasCached(key string) bool {
+// lookup reports whether a result for key is servable, checking the
+// in-memory cache first and then the artifact store. A store hit is
+// decoded, verified against its address, and promoted into the memory
+// cache, so the caller's subsequent locked cache.get hits.
+func (s *Server) lookup(key string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	_, ok := s.cache.get(key)
-	return ok
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	if s.store == nil {
+		return false
+	}
+	payload, ok := s.store.Get(key)
+	if !ok {
+		return false
+	}
+	env, err := api.DecodeResultEnvelope(payload)
+	if err != nil || env.Key != key {
+		// Checksum-valid but semantically wrong (foreign schema, moved
+		// file): never serve it, and remove it from the hot path.
+		s.cfg.logf("serve: dropping undecodable artifact %s: %v", key, err)
+		s.store.Delete(key)
+		return false
+	}
+	s.metrics.ArtifactHitsTotal.Add(1)
+	s.mu.Lock()
+	s.cache.put(key, env.Result, int64(len(payload)))
+	s.mu.Unlock()
+	return true
 }
 
 // record indexes the job and evicts the oldest finished jobs beyond the
@@ -330,6 +439,7 @@ func (s *Server) Cancel(id string) (*JobView, error) {
 		j.finished = time.Now()
 		s.metrics.JobsQueuedNow.Add(-1)
 		s.metrics.JobsCanceledTotal.Add(1)
+		s.events.finish(j.id)
 	case StatusRunning:
 		j.cancel(errClientCanceled)
 	}
@@ -343,8 +453,41 @@ func (s *Server) worker() {
 	}
 }
 
+// persister drains the artifact write queue; one goroutine so writes
+// are ordered and job completion never blocks on disk.
+func (s *Server) persister() {
+	defer s.persistWG.Done()
+	for it := range s.persistCh {
+		s.persist(it)
+	}
+}
+
+// persist writes one completed result into the artifact store.
+func (s *Server) persist(it persistItem) {
+	if err := s.store.Put(it.key, it.payload); err != nil {
+		s.cfg.logf("serve: artifact store write failed for %s: %v", it.key, err)
+		return
+	}
+	s.metrics.ArtifactPersistedTotal.Add(1)
+	if s.draining.Load() {
+		s.flushedAtEnd.Add(1)
+	}
+}
+
+// enqueuePersist hands a completed result to the persister; if its
+// queue is full the write happens inline on the worker — an artifact is
+// never dropped to keep latency.
+func (s *Server) enqueuePersist(it persistItem) {
+	select {
+	case s.persistCh <- it:
+	default:
+		s.persist(it)
+	}
+}
+
 // runJob executes one dequeued job under a per-job cancellable context,
-// updates its record, and feeds the cache and metrics.
+// streams its stage events, updates its record, and feeds the caches
+// and metrics.
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	if j.status != StatusQueued { // canceled while waiting
@@ -368,24 +511,37 @@ func (s *Server) runJob(j *job) {
 		runCtx, stopTimer = context.WithTimeout(ctx, timeout)
 	}
 	start := time.Now()
-	res, err := api.Run(runCtx, j.spec)
+	res, err := api.RunObserved(runCtx, j.spec, func(st api.StageJSON) {
+		s.events.publish(j.id, sseEvent{Type: EventStage, Data: st})
+	})
 	elapsed := time.Since(start)
 	stopTimer()
 	cancel(nil)
 
 	s.metrics.JobsRunning.Add(-1)
 	s.metrics.WallTimeMicrosTotal.Add(elapsed.Microseconds())
+
+	// Encode the persisted envelope outside the server mutex; its length
+	// is also the result's size for the byte-bounded memory cache.
+	var payload []byte
+	if err == nil {
+		res.ElapsedMS = elapsed.Milliseconds()
+		res.Warnings = j.vetWarnings
+		var encErr error
+		payload, encErr = api.EncodeResultEnvelope(j.key, res)
+		if encErr != nil { // cannot happen for a marshalable Result; be loud, keep serving
+			s.cfg.logf("serve: result envelope encoding failed for %s: %v", j.key, encErr)
+		}
+	}
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j.cancel = nil
 	j.finished = time.Now()
 	switch {
 	case err == nil:
-		res.ElapsedMS = elapsed.Milliseconds()
-		res.Warnings = j.vetWarnings
 		j.status = StatusDone
 		j.result = res
-		s.cache.put(j.key, res)
+		s.cache.put(j.key, res, int64(len(payload)))
 		s.metrics.JobsDoneTotal.Add(1)
 		s.metrics.StatesExploredTotal.Add(res.StatesExplored())
 		s.metrics.RecordStages(res.Stages)
@@ -402,14 +558,35 @@ func (s *Server) runJob(j *job) {
 		j.errMsg = err.Error()
 		s.metrics.JobsFailedTotal.Add(1)
 	}
+	// Close the event stream under s.mu: subscribers checking the job
+	// status under the same lock either see it non-terminal and get a
+	// channel this close will end, or see the final record.
+	s.events.finish(j.id)
+	s.mu.Unlock()
+
+	if err == nil && s.store != nil && payload != nil {
+		s.enqueuePersist(persistItem{key: j.key, payload: payload})
+	}
+}
+
+// closePersist stops the persister after the workers have drained, once.
+func (s *Server) closePersist() {
+	if s.persistCh == nil {
+		return
+	}
+	s.persistOnce.Do(func() { close(s.persistCh) })
+	s.persistWG.Wait()
 }
 
 // Shutdown stops accepting submissions and waits for the workers to
-// drain every queued and running job. If ctx expires first, all
-// in-flight jobs are canceled (they record status "canceled") and
-// Shutdown still waits for the workers to observe the cancellation
-// before returning ctx's error.
+// drain every queued and running job, then flushes any
+// completed-but-unpersisted artifacts to the store so a restart never
+// loses finished work (the flush count is logged and available via
+// FlushedAtShutdown). If ctx expires first, all in-flight jobs are
+// canceled (they record status "canceled") and Shutdown still waits for
+// the workers and the artifact flush before returning ctx's error.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -419,14 +596,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.closePersist()
 		close(done)
 	}()
+	finish := func() {
+		if s.store != nil {
+			s.cfg.logf("serve: flushed %d artifact(s) to %s during shutdown", s.FlushedAtShutdown(), s.store.Root())
+		}
+	}
 	select {
 	case <-done:
+		finish()
 		return nil
 	case <-ctx.Done():
 		s.cancelAll(context.Cause(ctx))
 		<-done
+		finish()
 		return ctx.Err()
 	}
 }

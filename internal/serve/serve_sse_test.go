@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// ssePair is one decoded server-sent event.
+type ssePair struct {
+	typ  string
+	data string
+}
+
+// streamEvents opens the job's SSE stream and decodes events onto the
+// returned channel, which closes when the stream ends. The second
+// return closes the connection early (client disconnect).
+func streamEvents(t *testing.T, base, id string) (<-chan ssePair, func()) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("GET events = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	ch := make(chan ssePair, 256)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		var ev ssePair
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				ev.typ = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				ev.data = strings.TrimPrefix(line, "data: ")
+			case line == "":
+				if ev.typ != "" {
+					ch <- ev
+				}
+				ev = ssePair{}
+			}
+		}
+	}()
+	return ch, func() { resp.Body.Close() }
+}
+
+// nextEvent receives one event or fails after the deadline.
+func nextEvent(t *testing.T, ch <-chan ssePair, what string) (ssePair, bool) {
+	t.Helper()
+	select {
+	case ev, ok := <-ch:
+		return ev, ok
+	case <-time.After(30 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+		return ssePair{}, false
+	}
+}
+
+// TestSSELiveStream pins the streaming acceptance criterion: a client
+// subscribed before the job runs observes at least one stage event
+// before the terminal done event, live as the session records them.
+func TestSSELiveStream(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 1})
+
+	// Occupy the single worker so the target job is still queued when
+	// the client subscribes — every one of its stage events then arrives
+	// live rather than via history replay.
+	blocker := postJob(t, hs.URL, api.JobSpec{
+		Kind: api.KindCheck, Algorithm: "ms-queue", Threads: 3, Ops: 3,
+	}, http.StatusAccepted)
+	waitStatus(t, s, blocker.ID, StatusRunning)
+
+	target := postJob(t, hs.URL, api.JobSpec{
+		Kind: api.KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1,
+	}, http.StatusAccepted)
+	ch, stop := streamEvents(t, hs.URL, target.ID)
+	defer stop()
+
+	// Unblock the worker; the target starts streaming stages.
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+blocker.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	var stages int
+	for {
+		ev, ok := nextEvent(t, ch, "stage or done event")
+		if !ok {
+			t.Fatalf("stream ended after %d stage events without a done event", stages)
+		}
+		switch ev.typ {
+		case EventStage:
+			var st api.StageJSON
+			if err := json.Unmarshal([]byte(ev.data), &st); err != nil {
+				t.Fatalf("bad stage payload %q: %v", ev.data, err)
+			}
+			if st.Stage == "" {
+				t.Fatalf("stage event without a stage name: %q", ev.data)
+			}
+			stages++
+		case EventHeartbeat:
+			// Allowed between stages.
+		case EventDone:
+			if stages == 0 {
+				t.Fatal("done event arrived before any stage event")
+			}
+			var v JobView
+			if err := json.Unmarshal([]byte(ev.data), &v); err != nil {
+				t.Fatalf("bad done payload %q: %v", ev.data, err)
+			}
+			if v.Status != StatusDone || v.Result == nil {
+				t.Fatalf("done event carries status %s (result %v), want done with result", v.Status, v.Result != nil)
+			}
+			if _, ok := nextEvent(t, ch, "stream close"); ok {
+				t.Fatal("events after done")
+			}
+			return
+		default:
+			t.Fatalf("unexpected event type %q", ev.typ)
+		}
+	}
+}
+
+// TestSSEHeartbeatAndCancel pins the keep-alive and the canceled
+// terminal: a stream over a long-running job emits heartbeats, and
+// canceling the job ends the stream with a done event carrying status
+// canceled.
+func TestSSEHeartbeatAndCancel(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1, SSEHeartbeat: 20 * time.Millisecond})
+
+	long := postJob(t, hs.URL, api.JobSpec{
+		Kind: api.KindCheck, Algorithm: "ms-queue", Threads: 3, Ops: 3,
+	}, http.StatusAccepted)
+	ch, stop := streamEvents(t, hs.URL, long.ID)
+	defer stop()
+
+	for {
+		ev, ok := nextEvent(t, ch, "heartbeat")
+		if !ok {
+			t.Fatal("stream ended before a heartbeat")
+		}
+		if ev.typ == EventHeartbeat {
+			break
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+long.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	for {
+		ev, ok := nextEvent(t, ch, "done event after cancel")
+		if !ok {
+			t.Fatal("stream ended without a done event")
+		}
+		if ev.typ != EventDone {
+			continue
+		}
+		var v JobView
+		if err := json.Unmarshal([]byte(ev.data), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != StatusCanceled {
+			t.Fatalf("done event after cancel carries %s, want canceled", v.Status)
+		}
+		return
+	}
+}
+
+// TestSSETerminalReplay pins late subscription: connecting to an
+// already-finished job replays its full stage sequence and the done
+// event immediately, then closes — cache-hit jobs included.
+func TestSSETerminalReplay(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1})
+	view := postJob(t, hs.URL, api.JobSpec{
+		Kind: api.KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1,
+	}, http.StatusAccepted)
+	pollDone(t, hs.URL, view.ID)
+
+	// The finished job, then the cache-hit duplicate: both replay.
+	hit := postJob(t, hs.URL, api.JobSpec{
+		Kind: api.KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1,
+	}, http.StatusOK)
+	for _, id := range []string{view.ID, hit.ID} {
+		ch, stop := streamEvents(t, hs.URL, id)
+		var types []string
+		for ev := range ch {
+			types = append(types, ev.typ)
+		}
+		stop()
+		if len(types) < 2 || types[len(types)-1] != EventDone {
+			t.Fatalf("terminal replay for %s = %v, want stage events then done", id, types)
+		}
+		for _, typ := range types[:len(types)-1] {
+			if typ != EventStage {
+				t.Fatalf("terminal replay for %s contains %q before done", id, typ)
+			}
+		}
+	}
+}
+
+// TestSSEUnknownJob pins the 404 path.
+func TestSSEUnknownJob(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(hs.URL + "/v1/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET events for unknown job = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSSEClientDisconnect pins cleanup: closing the client connection
+// releases the subscription and the active-clients gauge returns to
+// zero.
+func TestSSEClientDisconnect(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 1})
+	long := postJob(t, hs.URL, api.JobSpec{
+		Kind: api.KindCheck, Algorithm: "ms-queue", Threads: 3, Ops: 3,
+	}, http.StatusAccepted)
+	waitStatus(t, s, long.ID, StatusRunning)
+
+	_, stop := streamEvents(t, hs.URL, long.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && s.metrics.SSEClientsActive.Load() != 1 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := s.metrics.SSEClientsActive.Load(); got != 1 {
+		t.Fatalf("sse_clients_active = %d with one stream open, want 1", got)
+	}
+	stop()
+	for time.Now().Before(deadline) && s.metrics.SSEClientsActive.Load() != 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := s.metrics.SSEClientsActive.Load(); got != 0 {
+		t.Fatalf("sse_clients_active = %d after disconnect, want 0", got)
+	}
+	// The worker is still busy with the long job; cancel it so Cleanup's
+	// Close does not wait out the full exploration.
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+long.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}

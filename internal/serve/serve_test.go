@@ -18,9 +18,18 @@ import (
 	"repro/internal/api"
 )
 
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		hs.Close()
@@ -191,7 +200,7 @@ func TestCacheHit(t *testing.T) {
 // "canceled", not a hang or a result — without leaking goroutines.
 func TestTimeoutCancelsInFlight(t *testing.T) {
 	before := runtime.NumGoroutine()
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	hs := httptest.NewServer(s.Handler())
 
 	// ms-queue 3x3 explores for much longer than 25ms.
@@ -481,7 +490,7 @@ func TestConcurrentSubmissions(t *testing.T) {
 // TestShutdownDrains pins graceful shutdown: submissions are refused,
 // queued and running work completes, workers exit.
 func TestShutdownDrains(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := mustNew(t, Config{Workers: 2})
 	view, err := s.Submit(api.JobSpec{Kind: api.KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -504,7 +513,7 @@ func TestShutdownDrains(t *testing.T) {
 // TestShutdownDeadlineCancels pins the impatient path: when the drain
 // context expires, in-flight jobs are canceled rather than awaited.
 func TestShutdownDeadlineCancels(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	view, err := s.Submit(api.JobSpec{Kind: api.KindCheck, Algorithm: "ms-queue", Threads: 3, Ops: 3})
 	if err != nil {
 		t.Fatal(err)
