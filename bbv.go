@@ -44,6 +44,7 @@ import (
 	"repro/internal/ltl"
 	"repro/internal/lts"
 	"repro/internal/machine"
+	"repro/internal/statestore"
 )
 
 // Instance bounds one verification run: the number of most-general-client
@@ -77,8 +78,10 @@ func (i Instance) core() core.Config {
 		Workers:   i.Workers,
 		MemBudget: i.MemBudget,
 		// Bit-pack states with vet's interval facts, exactly as the CLI and
-		// the bbvd service do.
+		// the bbvd service do, and wire the platform backend so MemBudget
+		// can spill and results carry real RSS telemetry.
 		LayoutProvider: api.LayoutProvider(i.Threads, i.Ops),
+		Backend:        statestore.Runtime(),
 	}
 }
 

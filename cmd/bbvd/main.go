@@ -69,7 +69,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
-	"repro/internal/statestore"
+	"repro/internal/statecodec"
 )
 
 func main() {
@@ -125,7 +125,7 @@ func parseByteFlag(name, val string, zeroVal int64) (int64, error) {
 	if val == "" {
 		return 0, nil
 	}
-	n, err := statestore.ParseBudget(val)
+	n, err := statecodec.ParseBudget(val)
 	if err != nil {
 		return 0, fmt.Errorf("-%s: %w", name, err)
 	}
@@ -174,10 +174,10 @@ func run(ctx context.Context, cfg serve.Config, addr string, drainTimeout time.D
 	if st := s.Store(); st != nil {
 		budget := "unlimited"
 		if eff.StoreBudget > 0 {
-			budget = statestore.FormatBytes(eff.StoreBudget)
+			budget = statecodec.FormatBytes(eff.StoreBudget)
 		}
 		log.Printf("bbvd: artifact store %s (%d artifact(s), %s on disk, budget %s)",
-			st.Root(), st.Len(), statestore.FormatBytes(st.Bytes()), budget)
+			st.Root(), st.Len(), statecodec.FormatBytes(st.Bytes()), budget)
 	}
 	log.Printf("bbvd: serving on %s (%d workers, queue %d, cache %d)",
 		ln.Addr(), eff.Workers, eff.QueueDepth, eff.CacheSize)

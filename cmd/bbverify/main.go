@@ -8,6 +8,7 @@
 //	bbverify explore [-threads N] [-ops N] [-quotient] [-dot F] [-aut F] <algorithm>
 //	bbverify ktrace  [-threads N] [-ops N] <algorithm>
 //	bbverify compile <file.bbvl>
+//	bbverify examples [name]
 //	bbverify vet     [-json] [-Werror] [-list] <file.bbvl ...> | -alg id | -all
 //
 // vet runs the pre-exploration static-analysis pass (internal/vet) on
@@ -35,11 +36,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	bbvlexamples "repro/examples/bbvl"
 	"repro/internal/algorithms"
 	"repro/internal/api"
 	"repro/internal/bbvl"
@@ -49,6 +52,7 @@ import (
 	"repro/internal/ltl"
 	"repro/internal/lts"
 	"repro/internal/machine"
+	"repro/internal/statecodec"
 	"repro/internal/statestore"
 )
 
@@ -83,13 +87,15 @@ func run(args []string) error {
 		return sweepCmd(args[1:])
 	case "compile":
 		return compileCmd(args[1:])
+	case "examples":
+		return examplesCmd(args[1:])
 	case "vet":
 		return vetCmd(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (try: list, check, explore, ktrace, compare, explain, ltl, sweep, compile, vet)", args[0])
+		return fmt.Errorf("unknown subcommand %q (try: list, check, explore, ktrace, compare, explain, ltl, sweep, compile, examples, vet)", args[0])
 	}
 }
 
@@ -115,6 +121,9 @@ subcommands:
   sweep   [flags] <algorithm>  sweep the operation bound (Table III / Fig. 10
                                style): sizes, quotients, reduction, verdicts
   compile <file.bbvl>          print the compiled machine-level form of a model
+  examples [name]              list the embedded example models, or print one
+                               (the same catalogue the wasm playground embeds;
+                               try: bbverify check -model <(bbverify examples treiber))
   vet     [flags] <file.bbvl>  run the pre-exploration static-analysis pass
                                (unreachable code, dead guards, unused variables,
                                value overflow, spec shape, tau cycles) without
@@ -224,7 +233,7 @@ func (c *commonFlags) resolve() (*algorithms.Algorithm, algorithms.Config, core.
 		return nil, algorithms.Config{}, core.Config{}, fmt.Errorf("bad -refiner: %w", err)
 	}
 	if *c.membudget != "" {
-		c.memBytes, err = statestore.ParseBudget(*c.membudget)
+		c.memBytes, err = statecodec.ParseBudget(*c.membudget)
 		if err != nil {
 			return nil, algorithms.Config{}, core.Config{}, fmt.Errorf("bad -membudget: %w", err)
 		}
@@ -239,8 +248,10 @@ func (c *commonFlags) resolve() (*algorithms.Algorithm, algorithms.Config, core.
 		MemBudget: c.memBytes,
 		Encoding:  *c.encoding,
 		// Narrow packed layouts with vet's interval facts, exactly as the
-		// bbvd service does.
+		// bbvd service does, and wire the platform backend (spill-capable
+		// store, real RSS probe) the pure core deliberately lacks.
 		LayoutProvider: api.LayoutProvider(*c.threads, *c.ops),
+		Backend:        statestore.Runtime(),
 	}
 	return alg, acfg, ccfg, nil
 }
@@ -266,6 +277,7 @@ func machineOpts(ccfg core.Config, p *machine.Program) machine.Options {
 		Workers:   ccfg.Workers,
 		MemBudget: ccfg.MemBudget,
 		Encoding:  ccfg.Encoding,
+		Backend:   ccfg.Backend,
 	}
 	if p != nil && ccfg.LayoutProvider != nil {
 		opt.Layout = ccfg.LayoutProvider(p)
@@ -346,14 +358,12 @@ func check(args []string) error {
 	}
 
 	if *jsonOut {
-		res, err := api.Run(context.Background(), spec)
+		res, err := api.RunBackend(context.Background(), spec, statestore.Runtime(), nil)
 		if err != nil {
 			return err
 		}
 		res.Warnings = warnings
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		return api.EncodeResult(os.Stdout, res)
 	}
 	for _, w := range warnings {
 		fmt.Fprintln(os.Stderr, w.String())
@@ -457,26 +467,34 @@ func printStageTable(stats []core.StageStat) {
 			sizes(st.StatesIn, st.TransitionsIn), sizes(st.StatesOut, st.TransitionsOut),
 			rounds, cached)
 	}
-	printStorageTable(stats)
+	printStorageTable(os.Stdout, stats)
 }
 
 // printStorageTable renders the explore stages' state-storage telemetry
 // (encoding, bytes per state, throughput, spilling, peak RSS), skipped
-// entirely when no stage carries any.
-func printStorageTable(stats []core.StageStat) {
-	any := false
+// entirely when no stage carries any. The peak-RSS column only appears
+// when some stage actually measured one: a zero reading means the
+// platform probe is unavailable (non-Linux, js/wasm, pure backend), and
+// printing "0 B" would misreport a measurement that never happened.
+func printStorageTable(w io.Writer, stats []core.StageStat) {
+	any, anyRSS := false, false
 	for _, st := range stats {
 		if st.Encoding != "" {
 			any = true
-			break
+		}
+		if st.PeakRSSBytes > 0 {
+			anyRSS = true
 		}
 	}
 	if !any {
 		return
 	}
-	fmt.Println("\nstate storage:")
-	fmt.Printf("  %-34s %8s %8s %12s %6s %12s\n",
-		"target", "codec", "B/state", "states/s", "spill", "peak RSS")
+	fmt.Fprintln(w, "\nstate storage:")
+	fmt.Fprintf(w, "  %-34s %8s %8s %12s %6s", "target", "codec", "B/state", "states/s", "spill")
+	if anyRSS {
+		fmt.Fprintf(w, " %12s", "peak RSS")
+	}
+	fmt.Fprintln(w)
 	for _, st := range stats {
 		if st.Encoding == "" {
 			continue
@@ -485,9 +503,12 @@ func printStorageTable(stats []core.StageStat) {
 		if st.SpillFiles > 0 {
 			spill = fmt.Sprint(st.SpillFiles)
 		}
-		fmt.Printf("  %-34s %8s %8.2f %12.0f %6s %12s\n",
-			st.Target, st.Encoding, st.BytesPerState, st.StatesPerSec,
-			spill, statestore.FormatBytes(st.PeakRSSBytes))
+		fmt.Fprintf(w, "  %-34s %8s %8.2f %12.0f %6s",
+			st.Target, st.Encoding, st.BytesPerState, st.StatesPerSec, spill)
+		if anyRSS {
+			fmt.Fprintf(w, " %12s", statecodec.FormatBytes(st.PeakRSSBytes))
+		}
+		fmt.Fprintln(w)
 	}
 }
 
@@ -511,9 +532,11 @@ func exploreCmd(args []string) error {
 	fmt.Printf("%s (%d threads x %d ops)\n", alg.Display, ccfg.Threads, ccfg.Ops)
 	fmt.Printf("states:       %d\n", l.NumStates())
 	fmt.Printf("transitions:  %d (%d tau)\n", l.NumTransitions(), l.CountTau())
-	fmt.Printf("memory:       %s codec, %.2f B/state, %.0f states/s, peak RSS %s",
-		info.Stats.Encoding, info.Stats.BytesPerState(), info.Stats.StatesPerSec(),
-		statestore.FormatBytes(info.Stats.PeakRSSBytes))
+	fmt.Printf("memory:       %s codec, %.2f B/state, %.0f states/s",
+		info.Stats.Encoding, info.Stats.BytesPerState(), info.Stats.StatesPerSec())
+	if rss := info.Stats.PeakRSSBytes; rss > 0 {
+		fmt.Printf(", peak RSS %s", statecodec.FormatBytes(rss))
+	}
 	if info.Stats.SpillFiles > 0 {
 		fmt.Printf(", spilled to %d temp files", info.Stats.SpillFiles)
 	}
@@ -813,14 +836,12 @@ func runSpecFile(path string) error {
 		}
 		return err
 	}
-	res, err := api.Run(context.Background(), spec)
+	res, err := api.RunBackend(context.Background(), spec, statestore.Runtime(), nil)
 	if err != nil {
 		return err
 	}
 	res.Warnings = warnings
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(res)
+	return api.EncodeResult(os.Stdout, res)
 }
 
 // compileCmd loads a BBVL model and prints its compiled machine-level
@@ -834,12 +855,47 @@ func compileCmd(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected exactly one model file (bbverify compile file.bbvl)")
 	}
-	m, err := bbvl.LoadFile(fs.Arg(0))
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := bbvl.Load(fs.Arg(0), src)
 	if err != nil {
 		return err
 	}
 	fmt.Print(m.Dump())
 	return nil
+}
+
+// examplesCmd lists or prints the embedded example models. The bytes
+// come from the same go:embed catalogue the wasm playground ships
+// (repro/examples/bbvl), which a test pins byte-identical to the files
+// under examples/bbvl.
+func examplesCmd(args []string) error {
+	fs := flag.NewFlagSet("examples", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch fs.NArg() {
+	case 0:
+		for _, name := range bbvlexamples.Names() {
+			src, err := bbvlexamples.Source(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-20s %4d lines\n", name, strings.Count(string(src), "\n"))
+		}
+		return nil
+	case 1:
+		src, err := bbvlexamples.Source(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(src)
+		return err
+	default:
+		return fmt.Errorf("expected at most one model name (bbverify examples [name])")
+	}
 }
 
 // vetCmd runs the pre-exploration static-analysis pass on its own:

@@ -19,7 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exhibits"
-	"repro/internal/statestore"
+	"repro/internal/statecodec"
 )
 
 func main() {
@@ -42,7 +42,7 @@ func run(args []string) error {
 	var memBytes int64
 	if *membudget != "" {
 		var err error
-		memBytes, err = statestore.ParseBudget(*membudget)
+		memBytes, err = statecodec.ParseBudget(*membudget)
 		if err != nil {
 			return fmt.Errorf("bad -membudget: %w", err)
 		}

@@ -1,0 +1,53 @@
+// Package bbvlexamples embeds the example BBVL models that live next to
+// this file, so the models ship inside every binary that wants them: the
+// `bbverify examples` subcommand, the wasm playground's model picker and
+// any test that needs a known-good model without touching the
+// filesystem. The embedded bytes are the files — a test pins
+// byte-identity — which keeps the on-disk examples the single source of
+// truth.
+package bbvlexamples
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed *.bbvl
+var files embed.FS
+
+// Names lists the embedded models in sorted order, by bare name (the
+// filename without its .bbvl extension).
+func Names() []string {
+	ents, err := files.ReadDir(".")
+	if err != nil {
+		// The embedded tree is baked in at compile time; reading its
+		// root cannot fail on a well-formed binary.
+		panic("bbvlexamples: " + err.Error())
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, strings.TrimSuffix(e.Name(), ".bbvl"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Filename returns the canonical embedded filename for name, which may
+// be given bare ("treiber") or with its extension ("treiber.bbvl").
+func Filename(name string) string {
+	return strings.TrimSuffix(name, ".bbvl") + ".bbvl"
+}
+
+// Source returns the exact bytes of the named model; name may carry the
+// .bbvl extension or not. Unknown names list the catalogue in the
+// error.
+func Source(name string) ([]byte, error) {
+	b, err := files.ReadFile(Filename(name))
+	if err != nil {
+		return nil, fmt.Errorf("bbvlexamples: unknown model %q (have: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return b, nil
+}

@@ -1,0 +1,56 @@
+package bbvlexamples
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The embedded catalogue must be byte-identical to the files on disk:
+// same set of models, same bytes. This is what lets the playground, the
+// examples subcommand and the docs all point at examples/bbvl as the
+// single source of truth.
+func TestEmbeddedModelsMatchDisk(t *testing.T) {
+	ents, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var disk []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".bbvl") {
+			disk = append(disk, strings.TrimSuffix(e.Name(), ".bbvl"))
+		}
+	}
+	sort.Strings(disk)
+	if len(disk) == 0 {
+		t.Fatal("no .bbvl files next to the test; embed set would be empty")
+	}
+
+	got := Names()
+	if strings.Join(got, ",") != strings.Join(disk, ",") {
+		t.Fatalf("embedded names %v != on-disk names %v", got, disk)
+	}
+	for _, name := range got {
+		want, err := os.ReadFile(filepath.Clean(Filename(name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Source(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(want) {
+			t.Errorf("embedded %s differs from the file on disk", Filename(name))
+		}
+		// The extensionful spelling resolves to the same model.
+		b2, err := Source(Filename(name))
+		if err != nil || string(b2) != string(b) {
+			t.Errorf("Source(%q) != Source(%q)", Filename(name), name)
+		}
+	}
+	if _, err := Source("no-such-model"); err == nil {
+		t.Error("Source on an unknown name should fail")
+	}
+}

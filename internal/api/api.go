@@ -26,7 +26,7 @@ import (
 	"repro/internal/ktrace"
 	"repro/internal/lts"
 	"repro/internal/machine"
-	"repro/internal/statestore"
+	"repro/internal/statecodec"
 	"repro/internal/vet"
 )
 
@@ -323,7 +323,7 @@ func (s JobSpec) algorithmConfig() algorithms.Config {
 	return algorithms.Config{Threads: s.Threads, Ops: s.Ops, Vals: s.Vals}
 }
 
-func (s JobSpec) coreConfig() core.Config {
+func (s JobSpec) coreConfig(backend statecodec.Backend) core.Config {
 	ref, _ := bisim.ParseRefiner(s.Refiner) // Validate already vetted the name
 	return core.Config{
 		Threads:   s.Threads,
@@ -335,14 +335,15 @@ func (s JobSpec) coreConfig() core.Config {
 		// Pack states with vet's interval facts; programs without IR fall
 		// back to the structural layout inside the explorer.
 		LayoutProvider: LayoutProvider(s.Threads, s.Ops),
+		Backend:        backend,
 	}
 }
 
 // LayoutProvider builds a core.Config.LayoutProvider that narrows each
 // explored program's packed state layout with vet's interval analysis,
 // for instances with the given client bounds.
-func LayoutProvider(threads, ops int) func(p *machine.Program) *statestore.Layout {
-	return func(p *machine.Program) *statestore.Layout {
+func LayoutProvider(threads, ops int) func(p *machine.Program) *statecodec.Layout {
+	return func(p *machine.Program) *statecodec.Layout {
 		return vet.StateLayout(p, vet.Options{Threads: threads, Ops: ops})
 	}
 }
@@ -508,6 +509,17 @@ type Result struct {
 	Warnings []VetFinding `json:"warnings,omitempty"`
 }
 
+// EncodeResult writes res to w in the canonical wire form both front
+// ends use: two-space-indented JSON with a trailing newline. The CLI's
+// `check -json`, the bbvd service's stored artifacts and the wasm
+// playground all encode through here, so their outputs stay
+// byte-diffable.
+func EncodeResult(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
 // StatesExplored totals the raw state-space sizes the job generated, for
 // the service's states-explored metric.
 func (r *Result) StatesExplored() int64 {
@@ -527,6 +539,12 @@ func (r *Result) StatesExplored() int64 {
 // promptly with a typed cancellation error (machine.CanceledError or
 // bisim.CanceledError, both unwrapping to the context cause). The spec
 // is normalized and validated first.
+//
+// Run is pure: it uses the in-memory state store and no platform
+// telemetry, so it works identically on every target (including
+// js/wasm). A spec with a positive MemBudgetMB therefore fails here —
+// honoring a budget needs the spill backend; use RunBackend with
+// statestore.Runtime() for that.
 func Run(ctx context.Context, spec JobSpec) (*Result, error) {
 	return RunObserved(ctx, spec, nil)
 }
@@ -538,6 +556,15 @@ func Run(ctx context.Context, spec JobSpec) (*Result, error) {
 // stream. The observer is called from the job's worker goroutine with
 // the session mutex held, so it must be fast and must not block.
 func RunObserved(ctx context.Context, spec JobSpec, observe func(StageJSON)) (*Result, error) {
+	return RunBackend(ctx, spec, statecodec.Backend{}, observe)
+}
+
+// RunBackend is RunObserved with explicit platform wiring: backend
+// supplies the exploration state-store opener and the peak-RSS probe
+// (statestore.Runtime() in the CLI and the daemon; the zero value for
+// pure in-memory runs). The backend tunes where bytes live and what
+// telemetry the result carries — never the verdict, sizes or traces.
+func RunBackend(ctx context.Context, spec JobSpec, backend statecodec.Backend, observe func(StageJSON)) (*Result, error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -547,26 +574,26 @@ func RunObserved(ctx context.Context, spec JobSpec, observe func(StageJSON)) (*R
 		return nil, err
 	}
 	if spec.ModelSource != "" {
-		return runGuarded(ctx, alg, spec, observe)
+		return runGuarded(ctx, alg, spec, backend, observe)
 	}
-	return run(ctx, alg, spec, observe)
+	return run(ctx, alg, spec, backend, observe)
 }
 
 // runGuarded executes a model job with a panic guard: a well-typed model
 // can still fail at runtime (nil dereference, heap exhaustion), and the
 // compiled program reports those as panics carrying the source position.
 // Registry algorithms run unguarded — a panic there is a bug, not input.
-func runGuarded(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec, observe func(StageJSON)) (res *Result, err error) {
+func runGuarded(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec, backend statecodec.Backend, observe func(StageJSON)) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("api: model runtime error: %v", r)
 		}
 	}()
-	return run(ctx, alg, spec, observe)
+	return run(ctx, alg, spec, backend, observe)
 }
 
-func run(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec, observe func(StageJSON)) (*Result, error) {
-	cfg := spec.coreConfig()
+func run(ctx context.Context, alg *algorithms.Algorithm, spec JobSpec, backend statecodec.Backend, observe func(StageJSON)) (*Result, error) {
+	cfg := spec.coreConfig(backend)
 	if observe != nil {
 		cfg.StageObserver = func(st core.StageStat) { observe(StageJSONOf(st)) }
 	}

@@ -3,9 +3,12 @@ package api
 import (
 	"context"
 	"errors"
+	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/statestore"
 )
 
 // TestCacheKeyWorkersIndependent pins the cache-key contract of the bbvd
@@ -143,16 +146,18 @@ func TestRunKinds(t *testing.T) {
 	}
 }
 
-// TestRunMemBudgetSameVerdict pins that a memory-budgeted job reports
-// the same verdict and sizes as the unbudgeted one, and that explore
-// stages surface the storage telemetry.
+// TestRunMemBudgetSameVerdict pins that a memory-budgeted job (run on
+// the platform backend — the pure runner has no spill store to honor a
+// budget with) reports the same verdict and sizes as the unbudgeted
+// pure one, and that explore stages surface the storage telemetry.
 func TestRunMemBudgetSameVerdict(t *testing.T) {
 	ctx := context.Background()
 	free, err := Run(ctx, JobSpec{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tight, err := Run(ctx, JobSpec{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1, MemBudgetMB: 1})
+	tight, err := RunBackend(ctx, JobSpec{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1, MemBudgetMB: 1},
+		statestore.Runtime(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,12 +172,53 @@ func TestRunMemBudgetSameVerdict(t *testing.T) {
 			continue
 		}
 		sawExplore = true
-		if st.Encoding == "" || st.BytesPerState <= 0 || st.PeakRSSBytes <= 0 {
+		if st.Encoding == "" || st.BytesPerState <= 0 {
 			t.Fatalf("explore stage missing storage telemetry: %+v", st)
 		}
 	}
 	if !sawExplore {
 		t.Fatal("no explore stage in the result")
+	}
+}
+
+// TestRunPureOmitsPeakRSS pins the telemetry contract of the pure
+// runner: without a platform probe the peak RSS is unknown, stages
+// carry 0 and the wire form omits the field entirely — clients must
+// never see "peak_rss_bytes": 0 rendered as a bogus "0 B" measurement.
+// On Linux the platform backend measures a real, positive RSS.
+func TestRunPureOmitsPeakRSS(t *testing.T) {
+	ctx := context.Background()
+	pure, err := Run(ctx, JobSpec{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range pure.Stages {
+		if st.PeakRSSBytes != 0 {
+			t.Fatalf("pure run reported a peak RSS it cannot know: %+v", st)
+		}
+	}
+	var buf strings.Builder
+	if err := EncodeResult(&buf, pure); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "peak_rss_bytes") {
+		t.Fatal("pure result JSON must omit peak_rss_bytes, not report 0")
+	}
+
+	if rss := statestore.Runtime().ProcessPeakRSS(); runtime.GOOS == "linux" && rss <= 0 {
+		t.Fatalf("Linux platform probe returned %d, want a positive RSS", rss)
+	}
+	probed, err := RunBackend(ctx, JobSpec{Kind: KindCheck, Algorithm: "treiber", Threads: 2, Ops: 1},
+		statestore.Runtime(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOOS == "linux" {
+		for _, st := range probed.Stages {
+			if st.Stage == "explore" && st.PeakRSSBytes <= 0 {
+				t.Fatalf("platform-backed explore stage lost its RSS telemetry: %+v", st)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,7 @@
+// Test files are exempt from the boundary; the checker must not flag
+// this os import.
+package badcore
+
+import "os"
+
+var _ = os.Args

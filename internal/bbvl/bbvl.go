@@ -26,8 +26,6 @@
 // "bbverify compile", or the model_source field of a bbvd job.
 package bbvl
 
-import "os"
-
 // Load parses and checks model source. Filename is used in diagnostic
 // positions only. On failure the error is an ErrorList of positioned
 // diagnostics.
@@ -37,13 +35,4 @@ func Load(filename string, src []byte) (*Model, error) {
 		return nil, err
 	}
 	return Check(f)
-}
-
-// LoadFile loads a model from disk.
-func LoadFile(path string) (*Model, error) {
-	src, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return Load(path, src)
 }

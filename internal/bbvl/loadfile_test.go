@@ -1,0 +1,14 @@
+package bbvl
+
+import "os"
+
+// LoadFile reads and loads a model file. It is test-only plumbing: the
+// shipped package is core-layer (no os import), so file access lives
+// with the callers — and, for these tests, here.
+func LoadFile(path string) (*Model, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Load(path, src)
+}

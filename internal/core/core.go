@@ -30,7 +30,7 @@ import (
 	"repro/internal/lts"
 	"repro/internal/machine"
 	"repro/internal/refine"
-	"repro/internal/statestore"
+	"repro/internal/statecodec"
 )
 
 // Config bounds an individual verification instance.
@@ -52,9 +52,10 @@ type Config struct {
 	// partitions and verdicts — see bisim.Refiner.
 	Refiner bisim.Refiner
 	// MemBudget bounds (in bytes) the resident state storage of each
-	// exploration; past it, intern-table generations and frontier levels
-	// spill to temp files. 0 keeps everything in RAM. Budgets never
-	// change any LTS, quotient or verdict — see machine.Options.MemBudget.
+	// exploration; past it, a spill-capable Backend sheds intern-table
+	// generations and frontier levels to temp files. 0 keeps everything
+	// in RAM. Budgets never change any LTS, quotient or verdict — see
+	// machine.Options.MemBudget. A positive budget requires Backend.Open.
 	MemBudget int64
 	// SpillDir is the parent directory for spill temp files; empty uses
 	// the OS temp dir.
@@ -67,7 +68,11 @@ type Config struct {
 	// narrowing via vet.StateLayout). Returning nil falls back to the
 	// structural layout. Layouts never change any result, only bytes per
 	// state.
-	LayoutProvider func(p *machine.Program) *statestore.Layout
+	LayoutProvider func(p *machine.Program) *statecodec.Layout
+	// Backend supplies the platform services of each exploration (state
+	// store opener, peak-RSS probe); the zero value is the pure, OS-free
+	// configuration. See machine.Options.Backend.
+	Backend statecodec.Backend
 	// StageObserver, when set, is invoked with every StageStat the moment
 	// a session records it (freshly computed and cache-served stages
 	// alike), turning the per-stage instrumentation into a live event
@@ -88,6 +93,7 @@ func (c Config) options(p *machine.Program, acts, labels *lts.Alphabet) machine.
 		MemBudget: c.MemBudget,
 		SpillDir:  c.SpillDir,
 		Encoding:  c.Encoding,
+		Backend:   c.Backend,
 	}
 	if p != nil && c.LayoutProvider != nil {
 		opt.Layout = c.LayoutProvider(p)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/statestore"
 )
 
 // Table is a rendered exhibit: a title, column headers and rows, plus
@@ -147,6 +148,7 @@ func (o Options) coreConfig(threads, ops int) core.Config {
 		Workers:        o.Workers,
 		MemBudget:      o.MemBudget,
 		LayoutProvider: api.LayoutProvider(threads, ops),
+		Backend:        statestore.Runtime(),
 	}
 }
 

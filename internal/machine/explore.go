@@ -9,7 +9,7 @@ import (
 	"unsafe"
 
 	"repro/internal/lts"
-	"repro/internal/statestore"
+	"repro/internal/statecodec"
 )
 
 // DefaultMaxStates bounds exploration when Options.MaxStates is zero.
@@ -95,15 +95,17 @@ type Options struct {
 	// Labels supplies a shared diagnostic-label alphabet; nil allocates.
 	Labels *lts.Alphabet
 	// MemBudget bounds (approximately, in bytes) the resident state
-	// storage of the exploration; past it, closed intern-table
-	// generations and frontier levels spill to temp files. 0 keeps
-	// everything in RAM. The produced LTS is byte-identical for every
-	// budget. A positive budget routes through the spilling explorer even
-	// when Workers == 1.
+	// storage of the exploration; past it, a spill-capable Backend sheds
+	// closed intern-table generations and frontier levels to temp files.
+	// 0 keeps everything in RAM. The produced LTS is byte-identical for
+	// every budget. A positive budget routes through the store-backed
+	// explorer even when Workers == 1, and requires Backend.Open — the
+	// pure in-memory default cannot honor a budget.
 	MemBudget int64
 	// SpillDir is the parent directory for spill temp files; empty uses
 	// the OS temp dir. All spill files live in a private subdirectory
-	// removed when the exploration ends, on every exit path.
+	// removed when the exploration ends, on every exit path. Ignored by
+	// the in-memory backend.
 	SpillDir string
 	// Encoding selects the state codec: EncodingAuto/EncodingPacked bit-
 	// pack states using Layout or the structural layout; EncodingLegacy
@@ -114,7 +116,15 @@ type Options struct {
 	// facts via vet.StateLayout). It must be derived from this program
 	// under the same Threads and Ops; a mis-shaped layout is ignored in
 	// favor of the structural one.
-	Layout *statestore.Layout
+	Layout *statecodec.Layout
+	// Backend supplies the platform services of the exploration: the
+	// state-store opener and the process peak-RSS probe. The zero value
+	// is fully functional and OS-free — states stay in RAM (the
+	// statecodec in-memory store) and RSS telemetry reads as unknown.
+	// Platform callers pass statestore.Runtime() to enable
+	// spill-to-disk storage and real telemetry. The choice never affects
+	// the produced LTS.
+	Backend statecodec.Backend
 }
 
 // ExploreStats is the storage telemetry of one exploration.
@@ -129,7 +139,10 @@ type ExploreStats struct {
 	// RAM (interned keys, table bookkeeping, hot frontier bytes).
 	PeakResidentBytes int64
 	// PeakRSSBytes is the OS-reported process peak RSS, measured at the
-	// end of the exploration (process-wide and monotone across a run).
+	// end of the exploration (process-wide and monotone across a run);
+	// 0 when the exploration ran without a platform telemetry probe
+	// (no Options.Backend.PeakRSS, non-Linux hosts, js/wasm). Consumers
+	// must omit, not report, zero values.
 	PeakRSSBytes int64
 	// SpillFiles, TableFlushes and FrontierSpills count spill activity;
 	// all zero when the exploration fit in its budget.
@@ -221,8 +234,11 @@ func ExploreWithInfoContext(ctx context.Context, p *Program, opt Options) (*lts.
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// A memory budget needs the spilling explorer; with one worker it
-	// produces the identical LTS, just through the statestore.
+	if opt.MemBudget > 0 && opt.Backend.Open == nil {
+		return nil, nil, fmt.Errorf("machine: %s: Options.MemBudget requires a spill-capable Options.Backend (e.g. statestore.Runtime()); the in-memory default cannot honor a budget", p.Name)
+	}
+	// A memory budget needs the store-backed explorer; with one worker it
+	// produces the identical LTS, just through the state store.
 	if workers > 1 || opt.MemBudget > 0 {
 		return exploreParallel(ctx, p, opt, cdc, acts, labels, limit, workers)
 	}
@@ -457,7 +473,7 @@ func (e *explorer) run(limit int) (*lts.LTS, *Info, error) {
 		States:            len(e.keys),
 		EncodedBytes:      e.keyBytes,
 		PeakResidentBytes: e.keyBytes,
-		PeakRSSBytes:      statestore.ProcessPeakRSS(),
+		PeakRSSBytes:      e.opt.Backend.ProcessPeakRSS(),
 		Elapsed:           time.Since(start),
 	}
 	return e.csr.Build(len(e.keys), 0), info, nil

@@ -8,11 +8,12 @@ import (
 	"time"
 
 	"repro/internal/lts"
-	"repro/internal/statestore"
+	"repro/internal/statecodec"
 )
 
-// Parallel state-space generation: a level-synchronized BFS over the
-// statestore.
+// Parallel state-space generation: a level-synchronized BFS over a
+// statecodec.Store (the in-memory store by default; the spilling
+// statestore when the platform wired one in via Options.Backend).
 //
 // The frontier of each BFS level is the sequence of state keys pushed
 // during the previous level's merge, served by the store either from a
@@ -40,7 +41,7 @@ import (
 // ptrans is one worker-recorded transition: the symbolic action plus
 // the successor's store reference, resolved to IDs during the merge.
 type ptrans struct {
-	ref statestore.Ref
+	ref statecodec.Ref
 	sym symTrans
 }
 
@@ -59,8 +60,8 @@ type pworker struct {
 	buf   []byte
 	trs   []ptrans
 	cdc   codec
-	store *statestore.Store
-	chunk statestore.ChunkReader
+	store statecodec.Store
+	chunk statecodec.ChunkReader
 }
 
 // emit implements transSink: canonicalize and encode the successor,
@@ -80,7 +81,7 @@ const frontierChunk = 64
 
 func exploreParallel(ctx context.Context, p *Program, opt Options, cdc codec, acts, labels *lts.Alphabet, limit, workers int) (*lts.LTS, *Info, error) {
 	startTime := time.Now()
-	store, err := statestore.Open(statestore.Config{MemBudget: opt.MemBudget, Dir: opt.SpillDir})
+	store, err := opt.Backend.OpenStore(statecodec.Config{MemBudget: opt.MemBudget, Dir: opt.SpillDir})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -238,7 +239,7 @@ func exploreParallel(ctx context.Context, p *Program, opt Options, cdc codec, ac
 		States:            numStates,
 		EncodedBytes:      st.InternedBytes,
 		PeakResidentBytes: st.PeakResidentBytes,
-		PeakRSSBytes:      statestore.ProcessPeakRSS(),
+		PeakRSSBytes:      opt.Backend.ProcessPeakRSS(),
 		SpillFiles:        st.SpillFiles,
 		TableFlushes:      st.TableFlushes,
 		FrontierSpills:    st.FrontierSpills,

@@ -3,7 +3,7 @@ package machine
 import (
 	"fmt"
 
-	"repro/internal/statestore"
+	"repro/internal/statecodec"
 )
 
 // Encoding values for Options.Encoding.
@@ -35,15 +35,15 @@ const (
 // It applies to every program, including registry programs without IR.
 // vet.StateLayout narrows the value slots further using its interval
 // fixpoint when the program carries IR.
-func StructuralLayout(p *Program, threads, ops int) *statestore.Layout {
+func StructuralLayout(p *Program, threads, ops int) *statecodec.Layout {
 	hc := int32(p.HeapCap)
-	window := statestore.MakeSlot(EncodeMin, EncodeMax)
-	ptr := statestore.MakeSlot(0, hc)
+	window := statecodec.MakeSlot(EncodeMin, EncodeMax)
+	ptr := statecodec.MakeSlot(0, hc)
 
-	lay := &statestore.Layout{
-		Globals:   make([]statestore.Slot, len(p.Globals.Kinds)),
+	lay := &statecodec.Layout{
+		Globals:   make([]statecodec.Slot, len(p.Globals.Kinds)),
 		Watermark: ptr,
-		Locals:    make([]statestore.Slot, p.NLocals),
+		Locals:    make([]statecodec.Slot, p.NLocals),
 	}
 	for i, k := range p.Globals.Kinds {
 		if k == KPtr {
@@ -52,16 +52,16 @@ func StructuralLayout(p *Program, threads, ops int) *statestore.Layout {
 			lay.Globals[i] = window
 		}
 	}
-	lay.Node[statestore.NodeKind] = window
-	lay.Node[statestore.NodeVal] = window
-	lay.Node[statestore.NodeKey] = window
-	lay.Node[statestore.NodeNext] = ptr
-	lay.Node[statestore.NodeA] = ptr
-	lay.Node[statestore.NodeB] = ptr
-	lay.Node[statestore.NodeC] = window
-	lay.Node[statestore.NodeD] = window
-	lay.Node[statestore.NodeMark] = statestore.MakeSlot(0, 1)
-	lay.Node[statestore.NodeLock] = statestore.MakeSlot(0, int32(threads))
+	lay.Node[statecodec.NodeKind] = window
+	lay.Node[statecodec.NodeVal] = window
+	lay.Node[statecodec.NodeKey] = window
+	lay.Node[statecodec.NodeNext] = ptr
+	lay.Node[statecodec.NodeA] = ptr
+	lay.Node[statecodec.NodeB] = ptr
+	lay.Node[statecodec.NodeC] = window
+	lay.Node[statecodec.NodeD] = window
+	lay.Node[statecodec.NodeMark] = statecodec.MakeSlot(0, 1)
+	lay.Node[statecodec.NodeLock] = statecodec.MakeSlot(0, int32(threads))
 
 	maxPC := 0
 	argLo, argHi := int32(0), int32(0)
@@ -86,12 +86,12 @@ func StructuralLayout(p *Program, threads, ops int) *statestore.Layout {
 	if nm == 0 {
 		nm = 1
 	}
-	lay.Thread[statestore.ThreadStatus] = statestore.MakeSlot(0, 2)
-	lay.Thread[statestore.ThreadMethod] = statestore.MakeSlot(0, int32(nm-1))
-	lay.Thread[statestore.ThreadArg] = statestore.MakeSlot(argLo, argHi)
-	lay.Thread[statestore.ThreadPC] = statestore.MakeSlot(0, int32(maxPC-1))
-	lay.Thread[statestore.ThreadRet] = window
-	lay.Thread[statestore.ThreadOps] = statestore.MakeSlot(0, int32(ops))
+	lay.Thread[statecodec.ThreadStatus] = statecodec.MakeSlot(0, 2)
+	lay.Thread[statecodec.ThreadMethod] = statecodec.MakeSlot(0, int32(nm-1))
+	lay.Thread[statecodec.ThreadArg] = statecodec.MakeSlot(argLo, argHi)
+	lay.Thread[statecodec.ThreadPC] = statecodec.MakeSlot(0, int32(maxPC-1))
+	lay.Thread[statecodec.ThreadRet] = window
+	lay.Thread[statecodec.ThreadOps] = statecodec.MakeSlot(0, int32(ops))
 	for li := range lay.Locals {
 		if p.localKind(li) == KPtr {
 			lay.Locals[li] = ptr
@@ -105,13 +105,13 @@ func StructuralLayout(p *Program, threads, ops int) *statestore.Layout {
 // layoutFits sanity-checks that lay matches the shape of p under the
 // given instance bounds; a mis-shaped layout (built for a different
 // program or instance) is discarded rather than risking a mis-encode.
-func layoutFits(p *Program, lay *statestore.Layout, threads, ops int) bool {
+func layoutFits(p *Program, lay *statecodec.Layout, threads, ops int) bool {
 	return lay != nil &&
 		len(lay.Globals) == len(p.Globals.Kinds) &&
 		len(lay.Locals) == p.NLocals &&
 		lay.Watermark.Contains(int32(p.HeapCap)) &&
-		lay.Node[statestore.NodeLock].Contains(int32(threads)) &&
-		lay.Thread[statestore.ThreadOps].Contains(int32(ops))
+		lay.Node[statecodec.NodeLock].Contains(int32(threads)) &&
+		lay.Thread[statecodec.ThreadOps].Contains(int32(ops))
 }
 
 // codec encodes canonical states to intern keys and back. The zero
@@ -123,7 +123,7 @@ func layoutFits(p *Program, lay *statestore.Layout, threads, ops int) bool {
 // warm, and the choice is invisible in the produced LTS — only the
 // intern keys differ.
 type codec struct {
-	lay *statestore.Layout
+	lay *statecodec.Layout
 }
 
 // newCodec resolves the codec for one exploration of p.
@@ -160,7 +160,7 @@ func (c codec) encode(buf []byte, st *state) []byte {
 		return encode(buf, st)
 	}
 	lay := c.lay
-	var w statestore.BitWriter
+	var w statecodec.BitWriter
 	w.Reset(buf)
 	g := st.g
 	for i, v := range g.Vars {
@@ -176,29 +176,29 @@ func (c codec) encode(buf []byte, st *state) []byte {
 	w.Put(lay.Watermark, int32(hw))
 	for i := 1; i <= hw; i++ {
 		n := &g.Heap[i]
-		w.Put(lay.Node[statestore.NodeKind], n.Kind)
-		w.Put(lay.Node[statestore.NodeVal], n.Val)
-		w.Put(lay.Node[statestore.NodeKey], n.Key)
-		w.Put(lay.Node[statestore.NodeNext], n.Next)
-		w.Put(lay.Node[statestore.NodeA], n.A)
-		w.Put(lay.Node[statestore.NodeB], n.B)
-		w.Put(lay.Node[statestore.NodeC], n.C)
-		w.Put(lay.Node[statestore.NodeD], n.D)
+		w.Put(lay.Node[statecodec.NodeKind], n.Kind)
+		w.Put(lay.Node[statecodec.NodeVal], n.Val)
+		w.Put(lay.Node[statecodec.NodeKey], n.Key)
+		w.Put(lay.Node[statecodec.NodeNext], n.Next)
+		w.Put(lay.Node[statecodec.NodeA], n.A)
+		w.Put(lay.Node[statecodec.NodeB], n.B)
+		w.Put(lay.Node[statecodec.NodeC], n.C)
+		w.Put(lay.Node[statecodec.NodeD], n.D)
 		m := int32(0)
 		if n.Mark {
 			m = 1
 		}
-		w.Put(lay.Node[statestore.NodeMark], m)
-		w.Put(lay.Node[statestore.NodeLock], n.Lock)
+		w.Put(lay.Node[statecodec.NodeMark], m)
+		w.Put(lay.Node[statecodec.NodeLock], n.Lock)
 	}
 	for ti := range st.th {
 		th := &st.th[ti]
-		w.Put(lay.Thread[statestore.ThreadStatus], th.status)
-		w.Put(lay.Thread[statestore.ThreadMethod], th.method)
-		w.Put(lay.Thread[statestore.ThreadArg], th.arg)
-		w.Put(lay.Thread[statestore.ThreadPC], th.pc)
-		w.Put(lay.Thread[statestore.ThreadRet], th.ret)
-		w.Put(lay.Thread[statestore.ThreadOps], th.ops)
+		w.Put(lay.Thread[statecodec.ThreadStatus], th.status)
+		w.Put(lay.Thread[statecodec.ThreadMethod], th.method)
+		w.Put(lay.Thread[statecodec.ThreadArg], th.arg)
+		w.Put(lay.Thread[statecodec.ThreadPC], th.pc)
+		w.Put(lay.Thread[statecodec.ThreadRet], th.ret)
+		w.Put(lay.Thread[statecodec.ThreadOps], th.ops)
 		for li, l := range th.locals {
 			w.Put(lay.Locals[li], l)
 		}
@@ -214,7 +214,7 @@ func (c codec) decode(buf []byte, st *state) {
 		return
 	}
 	lay := c.lay
-	var r statestore.BitReader
+	var r statecodec.BitReader
 	r.Reset(buf)
 	g := st.g
 	for vi := range g.Vars {
@@ -223,28 +223,28 @@ func (c codec) decode(buf []byte, st *state) {
 	hw := int(r.Get(lay.Watermark))
 	for hi := 1; hi <= hw; hi++ {
 		n := &g.Heap[hi]
-		n.Kind = r.Get(lay.Node[statestore.NodeKind])
-		n.Val = r.Get(lay.Node[statestore.NodeVal])
-		n.Key = r.Get(lay.Node[statestore.NodeKey])
-		n.Next = r.Get(lay.Node[statestore.NodeNext])
-		n.A = r.Get(lay.Node[statestore.NodeA])
-		n.B = r.Get(lay.Node[statestore.NodeB])
-		n.C = r.Get(lay.Node[statestore.NodeC])
-		n.D = r.Get(lay.Node[statestore.NodeD])
-		n.Mark = r.Get(lay.Node[statestore.NodeMark]) != 0
-		n.Lock = r.Get(lay.Node[statestore.NodeLock])
+		n.Kind = r.Get(lay.Node[statecodec.NodeKind])
+		n.Val = r.Get(lay.Node[statecodec.NodeVal])
+		n.Key = r.Get(lay.Node[statecodec.NodeKey])
+		n.Next = r.Get(lay.Node[statecodec.NodeNext])
+		n.A = r.Get(lay.Node[statecodec.NodeA])
+		n.B = r.Get(lay.Node[statecodec.NodeB])
+		n.C = r.Get(lay.Node[statecodec.NodeC])
+		n.D = r.Get(lay.Node[statecodec.NodeD])
+		n.Mark = r.Get(lay.Node[statecodec.NodeMark]) != 0
+		n.Lock = r.Get(lay.Node[statecodec.NodeLock])
 	}
 	for hi := hw + 1; hi < len(g.Heap); hi++ {
 		g.Heap[hi] = Node{}
 	}
 	for ti := range st.th {
 		th := &st.th[ti]
-		th.status = r.Get(lay.Thread[statestore.ThreadStatus])
-		th.method = r.Get(lay.Thread[statestore.ThreadMethod])
-		th.arg = r.Get(lay.Thread[statestore.ThreadArg])
-		th.pc = r.Get(lay.Thread[statestore.ThreadPC])
-		th.ret = r.Get(lay.Thread[statestore.ThreadRet])
-		th.ops = r.Get(lay.Thread[statestore.ThreadOps])
+		th.status = r.Get(lay.Thread[statecodec.ThreadStatus])
+		th.method = r.Get(lay.Thread[statecodec.ThreadMethod])
+		th.arg = r.Get(lay.Thread[statecodec.ThreadArg])
+		th.pc = r.Get(lay.Thread[statecodec.ThreadPC])
+		th.ret = r.Get(lay.Thread[statecodec.ThreadRet])
+		th.ops = r.Get(lay.Thread[statecodec.ThreadOps])
 		for li := range th.locals {
 			th.locals[li] = r.Get(lay.Locals[li])
 		}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lts"
 	"repro/internal/machine"
+	"repro/internal/statestore"
 )
 
 // exploreWith runs one benchmark instance at the given worker count with
@@ -171,7 +172,7 @@ func TestParallelStateLimit(t *testing.T) {
 	n := exact.NumStates()
 	for _, workers := range []int{1, 4} {
 		for _, memBudget := range []int64{0, 1} {
-			opt := machine.Options{Threads: 2, Ops: 1, Workers: workers, MemBudget: memBudget, SpillDir: t.TempDir()}
+			opt := machine.Options{Threads: 2, Ops: 1, Workers: workers, MemBudget: memBudget, SpillDir: t.TempDir(), Backend: statestore.Runtime()}
 			ctx := fmt.Sprintf("workers=%d membudget=%d", workers, memBudget)
 			opt.MaxStates = n
 			if _, err := machine.Explore(prog, opt); err != nil {

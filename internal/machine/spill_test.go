@@ -18,6 +18,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/lts"
 	"repro/internal/machine"
+	"repro/internal/statestore"
 	"repro/internal/vet"
 )
 
@@ -100,6 +101,7 @@ func TestSpillIdenticalLTS(t *testing.T) {
 		dir := t.TempDir()
 		l, info, err := machine.ExploreWithInfo(prog, machine.Options{
 			Threads: 2, Ops: 2, Workers: workers, MemBudget: 1, SpillDir: dir,
+			Backend: statestore.Runtime(),
 		})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -132,6 +134,7 @@ func TestSpillCleanupOnCancel(t *testing.T) {
 	go func() {
 		_, err := machine.ExploreContext(ctx, prog, machine.Options{
 			Threads: 3, Ops: 3, Workers: 4, MemBudget: 1, SpillDir: dir,
+			Backend: statestore.Runtime(),
 		})
 		done <- err
 	}()
@@ -166,6 +169,7 @@ func TestSpillCleanupOnStateLimit(t *testing.T) {
 	dir := t.TempDir()
 	_, err = machine.Explore(prog, machine.Options{
 		Threads: 2, Ops: 2, Workers: 4, MaxStates: 500, MemBudget: 1, SpillDir: dir,
+		Backend: statestore.Runtime(),
 	})
 	var lim *machine.StateLimitError
 	if !errors.As(err, &lim) {
@@ -207,5 +211,5 @@ func BenchmarkExploreLegacy(b *testing.B) {
 }
 
 func BenchmarkExplorePackedSpill(b *testing.B) {
-	benchExplore(b, machine.Options{Threads: 2, Ops: 2, MemBudget: 1, SpillDir: b.TempDir()})
+	benchExplore(b, machine.Options{Threads: 2, Ops: 2, MemBudget: 1, SpillDir: b.TempDir(), Backend: statestore.Runtime()})
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/artifact"
+	"repro/internal/statestore"
 )
 
 // ReplayEntry is the outcome of re-verifying one stored artifact.
@@ -108,7 +109,7 @@ func replayOne(ctx context.Context, store *artifact.Store, key string) ReplayEnt
 		entry.Drift = fmt.Sprintf("spec no longer hashes to its address (now %s): cache-key scheme changed", shortKey(got))
 		return entry
 	}
-	fresh, err := api.Run(ctx, spec)
+	fresh, err := api.RunBackend(ctx, spec, statestore.Runtime(), nil)
 	if err != nil {
 		entry.Err = fmt.Errorf("re-run failed: %w", err)
 		return entry

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/artifact"
+	"repro/internal/statestore"
 )
 
 // Config sizes the service.
@@ -511,7 +512,7 @@ func (s *Server) runJob(j *job) {
 		runCtx, stopTimer = context.WithTimeout(ctx, timeout)
 	}
 	start := time.Now()
-	res, err := api.RunObserved(runCtx, j.spec, func(st api.StageJSON) {
+	res, err := api.RunBackend(runCtx, j.spec, statestore.Runtime(), func(st api.StageJSON) {
 		s.events.publish(j.id, sseEvent{Type: EventStage, Data: st})
 	})
 	elapsed := time.Since(start)

@@ -1,4 +1,4 @@
-package statestore
+package statecodec
 
 import (
 	"fmt"
@@ -30,11 +30,11 @@ func ParseBudget(s string) (int64, error) {
 		}
 	}
 	if t == "" {
-		return 0, fmt.Errorf("statestore: invalid memory budget %q", s)
+		return 0, fmt.Errorf("statecodec: invalid memory budget %q", s)
 	}
 	v, err := strconv.ParseFloat(t, 64)
 	if err != nil || v < 0 {
-		return 0, fmt.Errorf("statestore: invalid memory budget %q", s)
+		return 0, fmt.Errorf("statecodec: invalid memory budget %q", s)
 	}
 	return int64(v * float64(mult)), nil
 }

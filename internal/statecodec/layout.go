@@ -1,17 +1,8 @@
-// Package statestore provides the storage layer of the state-space
-// explorer: fixed-width bit-packed state encodings derived from value
-// layouts, a sharded intern table whose closed generations spill to
-// append-only temp files past a configurable memory budget, and a
-// two-queue BFS frontier (hot in-RAM buffer, cold on-disk run files)
-// replayed level by level.
-//
-// The package is deliberately ignorant of the machine's state shape: it
-// deals in Slots (one bounded integer each), Layouts (an ordered slot
-// schema), opaque byte keys and level-ordered key sequences. The
-// explorer owns the traversal order; statestore owns where the bytes
-// live. Nothing here influences state identity or discovery order, so
-// the produced LTS is byte-identical for any memory budget.
-package statestore
+// Packed state layouts: the codec is deliberately ignorant of the
+// machine's state shape — it deals in Slots (one bounded integer each),
+// Layouts (an ordered slot schema) and opaque byte keys. The explorer
+// owns the traversal order; the codec owns how values become bytes.
+package statecodec
 
 import (
 	"fmt"
@@ -30,7 +21,7 @@ type Slot struct {
 // MakeSlot builds the slot covering [lo, hi]; lo must not exceed hi.
 func MakeSlot(lo, hi int32) Slot {
 	if hi < lo {
-		panic(fmt.Sprintf("statestore: slot bounds [%d, %d] inverted", lo, hi))
+		panic(fmt.Sprintf("statecodec: slot bounds [%d, %d] inverted", lo, hi))
 	}
 	return Slot{Lo: lo, Hi: hi, Bits: uint8(bits.Len32(uint32(hi - lo)))}
 }
@@ -127,7 +118,7 @@ func (w *BitWriter) Reset(buf []byte) {
 // the legacy byte encoder does for values outside its window.
 func (w *BitWriter) Put(s Slot, v int32) {
 	if v < s.Lo || v > s.Hi {
-		panic(fmt.Sprintf("statestore: value %d outside slot range [%d, %d]", v, s.Lo, s.Hi))
+		panic(fmt.Sprintf("statecodec: value %d outside slot range [%d, %d]", v, s.Lo, s.Hi))
 	}
 	if s.Bits == 0 {
 		return

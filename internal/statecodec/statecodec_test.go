@@ -1,0 +1,104 @@
+package statecodec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/statecodec"
+)
+
+// TestBitRoundTrip packs randomized values through slots of every width
+// (including zero-bit singletons and negative ranges) and checks the
+// reader recovers each exactly.
+func TestBitRoundTrip(t *testing.T) {
+	slots := []statecodec.Slot{
+		statecodec.MakeSlot(0, 0),     // singleton, 0 bits
+		statecodec.MakeSlot(-5, -5),   // negative singleton
+		statecodec.MakeSlot(0, 1),     // 1 bit
+		statecodec.MakeSlot(-64, 191), // the legacy byte window
+		statecodec.MakeSlot(-3, 12),   // small signed range
+		statecodec.MakeSlot(0, 1<<20), // wide slot spanning several bytes
+	}
+	rng := rand.New(rand.NewSource(1))
+	var w statecodec.BitWriter
+	var r statecodec.BitReader
+	for trial := 0; trial < 200; trial++ {
+		vals := make([]int32, 64)
+		order := make([]statecodec.Slot, 64)
+		for i := range vals {
+			s := slots[rng.Intn(len(slots))]
+			order[i] = s
+			vals[i] = s.Lo + rng.Int31n(s.Hi-s.Lo+1)
+		}
+		w.Reset(nil)
+		for i, s := range order {
+			w.Put(s, vals[i])
+		}
+		buf := w.Finish()
+		r.Reset(buf)
+		for i, s := range order {
+			if got := r.Get(s); got != vals[i] {
+				t.Fatalf("trial %d slot %d (%+v): got %d want %d", trial, i, s, got, vals[i])
+			}
+		}
+	}
+}
+
+// TestBitWriterRejectsOutOfRange checks the loud-failure contract: an
+// out-of-range value must panic at encode time, like the legacy encoder.
+func TestBitWriterRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range value")
+		}
+	}()
+	var w statecodec.BitWriter
+	w.Reset(nil)
+	w.Put(statecodec.MakeSlot(0, 3), 4)
+}
+
+func TestParseBudget(t *testing.T) {
+	good := map[string]int64{
+		"0":      0,
+		"123":    123,
+		"64b":    64,
+		"4KiB":   4 << 10,
+		"4kb":    4 << 10,
+		"64MiB":  64 << 20,
+		"64mb":   64 << 20,
+		"2GiB":   2 << 30,
+		"2g":     2 << 30,
+		"1.5MiB": 3 << 19,
+	}
+	for in, want := range good {
+		got, err := statecodec.ParseBudget(in)
+		if err != nil {
+			t.Errorf("ParseBudget(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseBudget(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "-1", "-64MiB", "lots", "12QiB"} {
+		if _, err := statecodec.ParseBudget(bad); err == nil {
+			t.Errorf("ParseBudget(%q): expected error", bad)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:             "0 B",
+		512:           "512 B",
+		4 << 10:       "4.0 KiB",
+		64 << 20:      "64.0 MiB",
+		3 << 30:       "3.0 GiB",
+		1<<20 + 1<<19: "1.5 MiB",
+	}
+	for in, want := range cases {
+		if got := statecodec.FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package statestore
+
+import "repro/internal/statecodec"
+
+// Backend opens the state store for one exploration: the spilling store
+// when a memory budget is set, the pure in-memory store otherwise. A
+// zero-budget (unlimited) run therefore provably never touches the
+// filesystem — it does not even construct the spill-capable store.
+func Backend(cfg statecodec.Config) (statecodec.Store, error) {
+	if cfg.MemBudget <= 0 {
+		return statecodec.OpenMem(cfg)
+	}
+	return Open(cfg)
+}
+
+// Runtime is the platform wiring an exploration needs beyond the pure
+// core: the spill-capable store opener and the process peak-RSS probe.
+// The CLI, the bbvd service, the exhibits and the bbv facade all pass
+// this to machine/core; core-layer consumers (the wasm playground,
+// embedded library use without OS access) run on the zero
+// statecodec.Backend instead and lose nothing but spilling and RSS
+// telemetry.
+func Runtime() statecodec.Backend {
+	return statecodec.Backend{Open: Backend, PeakRSS: ProcessPeakRSS}
+}

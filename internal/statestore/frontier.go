@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+
+	"repro/internal/statecodec"
 )
 
 // The frontier is a two-queue structure: each BFS level under
@@ -108,12 +110,9 @@ type Level struct {
 // Len is the number of states in the level.
 func (l *Level) Len() int { return l.n }
 
-// ChunkReader is per-worker scratch for Level.Chunk: a reusable read
-// buffer and key-slice header array.
-type ChunkReader struct {
-	scratch []byte
-	keys    [][]byte
-}
+// ChunkReader is the shared per-worker scratch for Level.Chunk; see
+// statecodec.ChunkReader.
+type ChunkReader = statecodec.ChunkReader
 
 // Chunk returns the encoded keys of states [start, end) of the level.
 // The returned slices alias the reader's scratch (cold level) or the
@@ -127,30 +126,32 @@ func (l *Level) Chunk(start, end int, cr *ChunkReader) ([][]byte, error) {
 	tot := l.offs[end-1] - base
 	var src []byte
 	if l.f != nil {
-		if int64(cap(cr.scratch)) < tot {
-			cr.scratch = make([]byte, tot)
+		if int64(cap(cr.Scratch)) < tot {
+			cr.Scratch = make([]byte, tot)
 		}
-		src = cr.scratch[:tot]
+		src = cr.Scratch[:tot]
 		if _, err := l.f.ReadAt(src, base); err != nil {
 			return nil, err
 		}
 	} else {
 		src = l.buf[base : base+tot]
 	}
-	cr.keys = cr.keys[:0]
+	cr.Keys = cr.Keys[:0]
 	prev := int64(0)
 	for i := start; i < end; i++ {
 		e := l.offs[i] - base
-		cr.keys = append(cr.keys, src[prev:e])
+		cr.Keys = append(cr.Keys, src[prev:e])
 		prev = e
 	}
-	return cr.keys, nil
+	return cr.Keys, nil
 }
 
 // NextLevel seals the level under construction for reading and releases
 // the previously returned level (deleting its run file, or returning
 // its hot bytes to the budget). Single-threaded (explorer loop only).
-func (s *Store) NextLevel() (*Level, error) {
+// The result is typed as the shared Level contract so *Store satisfies
+// statecodec.Store.
+func (s *Store) NextLevel() (statecodec.Level, error) {
 	if s.cur != nil {
 		if err := s.releaseLevel(s.cur); err != nil {
 			return nil, err

@@ -1,3 +1,15 @@
+// Package statestore is the platform half of the explorer's state
+// storage: a statecodec.Store implementation whose sharded intern table
+// spills closed generations to append-only mmap'd temp files past a
+// configurable memory budget, and whose BFS frontier runs through a
+// two-queue structure (hot in-RAM buffer, cold on-disk run files)
+// replayed level by level. It also hosts the process telemetry probe
+// (peak RSS via /proc on Linux, zero elsewhere).
+//
+// The pure layout/codec types and the storage contract live in
+// internal/statecodec; this package owns only where the bytes go when
+// they leave RAM. Nothing here influences state identity or discovery
+// order, so the produced LTS is byte-identical for any memory budget.
 package statestore
 
 import (
@@ -10,42 +22,26 @@ import (
 	"sync"
 	"sync/atomic"
 	"unsafe"
+
+	"repro/internal/statecodec"
 )
 
-// Config bounds a Store.
-type Config struct {
-	// MemBudget is the approximate number of bytes of state storage the
-	// store may keep resident (interned keys plus hot frontier bytes plus
-	// bookkeeping); 0 means unlimited, everything stays in RAM. When the
-	// budget is exceeded, closed intern-table generations flush to
-	// append-only temp files and the frontier of the next level goes to an
-	// on-disk run file.
-	MemBudget int64
-	// Dir is the parent directory for the store's private spill
-	// directory; empty uses the OS temp dir. The spill directory and
-	// everything in it are removed by Close.
-	Dir string
-}
+// Config bounds a Store: statecodec.Config with the budget semantics
+// this package implements. When the budget is exceeded, closed
+// intern-table generations flush to append-only temp files and the
+// frontier of the next level goes to an on-disk run file; the spill
+// directory and everything in it are removed by Close.
+type Config = statecodec.Config
 
-// Entry is one resident interned state. ID stays -1 until the explorer's
-// deterministic merge assigns the state its discovery-order ID; Key
-// holds the encoded state until the entry's generation spills (at which
-// point it lives in a generation file and is no longer reachable through
-// an Entry).
-type Entry struct {
-	ID  int32
-	Key []byte
-}
-
-// Ref is the result of an intern: either a resident entry (Ent != nil;
-// inspect and assign Ent.ID) or a hit in a spilled generation, where the
-// state's already-assigned ID is returned directly. Spilled states
-// always carry assigned IDs: generations only close at level
-// boundaries, after the merge has numbered every state of the level.
-type Ref struct {
-	Ent *Entry
-	ID  int32
-}
+// Entry, Ref and Stats are the shared storage-contract types; see
+// statecodec. An Entry's Key holds the encoded state until the entry's
+// generation spills, at which point it lives in a generation file and
+// is no longer reachable through an Entry.
+type (
+	Entry = statecodec.Entry
+	Ref   = statecodec.Ref
+	Stats = statecodec.Stats
+)
 
 // numShards is the number of intern-table lock stripes; a power of two
 // so shard selection is a mask. The hash only picks the stripe and the
@@ -97,29 +93,6 @@ type generation struct {
 	mapped bool
 }
 
-// Stats reports a store's lifetime telemetry.
-type Stats struct {
-	// Interned is the number of distinct states interned.
-	Interned int64
-	// InternedBytes is the summed encoded size of those states; divided
-	// by Interned it gives the effective bytes/state of the encoding.
-	InternedBytes int64
-	// PeakResidentBytes is the high-water mark of the store's resident
-	// set (hot keys, bookkeeping, spilled-generation indexes, hot
-	// frontier bytes).
-	PeakResidentBytes int64
-	// SpillFiles counts every temp file the store created (generation
-	// files plus frontier run files).
-	SpillFiles int
-	// TableFlushes counts intern-table generation flushes.
-	TableFlushes int
-	// FrontierSpills counts levels whose frontier went to a run file.
-	FrontierSpills int
-}
-
-// Spilled reports whether anything left RAM.
-func (s Stats) Spilled() bool { return s.SpillFiles > 0 }
-
 // Store is the explorer's state storage: the sharded intern table and
 // the level-ordered frontier, both subject to one shared memory budget.
 //
@@ -165,16 +138,9 @@ func byteString(b []byte) string {
 	return unsafe.String(unsafe.SliceData(b), len(b))
 }
 
-// hash64 is FNV-1a. The low bits pick the shard, the high bits index
-// generation entries.
-func hash64(b []byte) uint64 {
-	h := uint64(14695981039346656037)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= 1099511628211
-	}
-	return h
-}
+// hash64 is the shared FNV-1a. The low bits pick the shard, the high
+// bits index generation entries.
+func hash64(b []byte) uint64 { return statecodec.Hash64(b) }
 
 func (s *Store) addResident(delta int64) {
 	r := s.resident.Add(delta)
@@ -219,9 +185,17 @@ func (s *Store) Intern(key []byte) Ref {
 }
 
 // ensureDir creates the store's private spill directory on first use.
+// A store with an unlimited budget must never get here: pure in-RAM
+// runs (and js builds routed through the in-memory backend) are
+// guaranteed to touch no filesystem, so an attempt to spill without a
+// budget is an internal invariant violation, not a reason to create
+// temp files.
 func (s *Store) ensureDir() error {
 	if s.dir != "" {
 		return nil
+	}
+	if s.cfg.MemBudget <= 0 {
+		return fmt.Errorf("statestore: internal error: spill attempted with an unlimited memory budget")
 	}
 	dir, err := os.MkdirTemp(s.cfg.Dir, "bbv-statestore-*")
 	if err != nil {

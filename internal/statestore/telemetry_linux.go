@@ -1,16 +1,16 @@
+//go:build linux
+
 package statestore
 
 import (
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 )
 
 // ProcessPeakRSS returns the process's high-water resident set size in
-// bytes: VmHWM from /proc/self/status where available (Linux),
-// otherwise the Go runtime's OS-reserved bytes as an approximation.
-// Returns 0 only if both sources fail.
+// bytes: VmHWM from /proc/self/status. Returns 0 (unknown) if the field
+// cannot be read; consumers omit, not report, zero values.
 //
 // The value is process-wide and monotone — it reflects everything the
 // process ever held, not one exploration — but it is exactly the number
@@ -19,9 +19,7 @@ func ProcessPeakRSS() int64 {
 	if v := procStatusKB("VmHWM:"); v > 0 {
 		return v * 1024
 	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return int64(ms.Sys)
+	return 0
 }
 
 // procStatusKB extracts a kB-valued field from /proc/self/status.

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package statestore
+
+// ProcessPeakRSS returns 0 on platforms without a peak-RSS probe
+// (non-Linux, js/wasm): the value is unknown, and consumers omit the
+// peak-RSS row rather than reporting a fabricated figure.
+func ProcessPeakRSS() int64 { return 0 }

@@ -2,7 +2,7 @@ package vet
 
 import (
 	"repro/internal/machine"
-	"repro/internal/statestore"
+	"repro/internal/statecodec"
 )
 
 // StateLayout exports the interval fixpoint as a packed state layout:
@@ -32,7 +32,7 @@ import (
 // return the structural layout unchanged — still packed, just without
 // interval narrowing. The layout is only valid for explorations with
 // the same Threads and Ops as opts.
-func StateLayout(p *machine.Program, opts Options) *statestore.Layout {
+func StateLayout(p *machine.Program, opts Options) *statecodec.Layout {
 	threads := opts.Threads
 	if threads <= 0 {
 		threads = 2
@@ -50,23 +50,23 @@ func StateLayout(p *machine.Program, opts Options) *statestore.Layout {
 	if a.widened {
 		return lay
 	}
-	narrow := func(s statestore.Slot, ivl interval) statestore.Slot {
+	narrow := func(s statecodec.Slot, ivl interval) statecodec.Slot {
 		if !ivl.def || ivl.isTop() {
 			return s
 		}
-		return statestore.MakeSlot(ivl.lo, ivl.hi)
+		return statecodec.MakeSlot(ivl.lo, ivl.hi)
 	}
 	for i, k := range p.Globals.Kinds {
 		if k == machine.KVal {
 			lay.Globals[i] = narrow(lay.Globals[i], a.globals[i])
 		}
 	}
-	lay.Node[statestore.NodeVal] = narrow(lay.Node[statestore.NodeVal], a.fields[machine.FieldVal])
-	lay.Node[statestore.NodeKey] = narrow(lay.Node[statestore.NodeKey], a.fields[machine.FieldKey])
-	lay.Node[statestore.NodeC] = narrow(lay.Node[statestore.NodeC], a.fields[machine.FieldC])
-	lay.Node[statestore.NodeD] = narrow(lay.Node[statestore.NodeD], a.fields[machine.FieldD])
-	lay.Node[statestore.NodeKind] = narrow(lay.Node[statestore.NodeKind], allocKinds(p))
-	lay.Thread[statestore.ThreadRet] = narrow(lay.Thread[statestore.ThreadRet], a.returns)
+	lay.Node[statecodec.NodeVal] = narrow(lay.Node[statecodec.NodeVal], a.fields[machine.FieldVal])
+	lay.Node[statecodec.NodeKey] = narrow(lay.Node[statecodec.NodeKey], a.fields[machine.FieldKey])
+	lay.Node[statecodec.NodeC] = narrow(lay.Node[statecodec.NodeC], a.fields[machine.FieldC])
+	lay.Node[statecodec.NodeD] = narrow(lay.Node[statecodec.NodeD], a.fields[machine.FieldD])
+	lay.Node[statecodec.NodeKind] = narrow(lay.Node[statecodec.NodeKind], allocKinds(p))
+	lay.Thread[statecodec.ThreadRet] = narrow(lay.Thread[statecodec.ThreadRet], a.returns)
 	for li := 0; li < p.NLocals; li++ {
 		if localKindOf(p, li) != machine.KVal {
 			continue

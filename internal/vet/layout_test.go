@@ -6,10 +6,9 @@ import (
 	"testing"
 
 	"repro/internal/algorithms"
-	"repro/internal/bbvl"
 	"repro/internal/lts"
 	"repro/internal/machine"
-	"repro/internal/statestore"
+	"repro/internal/statecodec"
 	"repro/internal/vet"
 )
 
@@ -17,7 +16,7 @@ import (
 func algCfg() algorithms.Config { return algorithms.Config{Threads: 2, Ops: 2} }
 
 // slotWithin reports whether inner's range is contained in outer's.
-func slotWithin(inner, outer statestore.Slot) bool {
+func slotWithin(inner, outer statecodec.Slot) bool {
 	return inner.Lo >= outer.Lo && inner.Hi <= outer.Hi
 }
 
@@ -39,7 +38,7 @@ func TestStateLayoutNarrowsSoundly(t *testing.T) {
 	for _, path := range layoutModels {
 		path := path
 		t.Run(filepath.Base(path), func(t *testing.T) {
-			m, err := bbvl.LoadFile(path)
+			m, err := loadModel(path)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -52,13 +51,13 @@ func TestStateLayoutNarrowsSoundly(t *testing.T) {
 			if lay.Watermark != structural.Watermark {
 				t.Errorf("watermark slot narrowed: %+v vs %+v", lay.Watermark, structural.Watermark)
 			}
-			for _, fi := range []int{statestore.NodeNext, statestore.NodeA, statestore.NodeB} {
+			for _, fi := range []int{statecodec.NodeNext, statecodec.NodeA, statecodec.NodeB} {
 				if lay.Node[fi] != structural.Node[fi] {
 					t.Errorf("pointer field slot %d narrowed: %+v vs %+v", fi, lay.Node[fi], structural.Node[fi])
 				}
 			}
 			narrower := false
-			check := func(what string, got, str statestore.Slot) {
+			check := func(what string, got, str statecodec.Slot) {
 				if !slotWithin(got, str) {
 					t.Errorf("%s widened: %+v outside %+v", what, got, str)
 				}
@@ -92,12 +91,12 @@ func TestStateLayoutPreservesLTS(t *testing.T) {
 	for _, path := range layoutModels {
 		path := path
 		t.Run(filepath.Base(path), func(t *testing.T) {
-			m, err := bbvl.LoadFile(path)
+			m, err := loadModel(path)
 			if err != nil {
 				t.Fatal(err)
 			}
 			alg := m.Algorithm()
-			aut := func(lay *statestore.Layout) []byte {
+			aut := func(lay *statecodec.Layout) []byte {
 				l, err := machine.Explore(alg.Build(algCfg()), machine.Options{
 					Threads: 2, Ops: 2, Layout: lay,
 				})

@@ -1,0 +1,17 @@
+package vet_test
+
+import (
+	"os"
+
+	"repro/internal/bbvl"
+)
+
+// loadModel reads and loads a BBVL model file for the tests; the bbvl
+// package itself is core-layer and leaves file access to its callers.
+func loadModel(path string) (*bbvl.Model, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return bbvl.Load(path, src)
+}

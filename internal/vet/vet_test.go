@@ -158,7 +158,7 @@ func TestExamplesClean(t *testing.T) {
 	}
 	for _, path := range paths {
 		t.Run(filepath.Base(path), func(t *testing.T) {
-			m, err := bbvl.LoadFile(path)
+			m, err := loadModel(path)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Builds the BBVL playground: compiles the wasm binding and copies the
+# Go runtime's JS loader next to the static page. Run from anywhere;
+# artifacts land in wasm/playground/.
+set -eu
+
+cd "$(dirname "$0")/.."
+GOOS=js GOARCH=wasm go build -trimpath -o wasm/playground/bbv.wasm ./wasm
+
+# wasm_exec.js moved from misc/wasm to lib/wasm in Go 1.24.
+goroot="$(go env GOROOT)"
+for d in lib/wasm misc/wasm; do
+    if [ -f "$goroot/$d/wasm_exec.js" ]; then
+        cp "$goroot/$d/wasm_exec.js" wasm/playground/wasm_exec.js
+        echo "built wasm/playground/ ($(wc -c <wasm/playground/bbv.wasm) bytes); serve it with:"
+        echo "  python3 -m http.server -d wasm/playground 8080"
+        exit 0
+    fi
+done
+echo "wasm_exec.js not found under $goroot" >&2
+exit 1

@@ -1,0 +1,19 @@
+//go:build !(js && wasm)
+
+// Native stub so `go build ./...` covers this directory on every
+// platform; the real binding (wasm.go) only compiles for js/wasm.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	fmt.Fprintln(os.Stderr, `this binary is the wasm playground binding; build it with:
+
+  GOOS=js GOARCH=wasm go build -o wasm/playground/bbv.wasm ./wasm
+
+or run wasm/build.sh, then serve wasm/playground/ statically.`)
+	os.Exit(2)
+}

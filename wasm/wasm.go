@@ -1,0 +1,116 @@
+//go:build js && wasm
+
+// The in-browser BBVL playground binding: a thin syscall/js shim over
+// internal/playground that exports the verification core to JavaScript.
+// Everything interesting — vet, the full check pipeline, distinguishing
+// experiments, the embedded example catalogue — lives in the pure core
+// layer; this file only converts values at the boundary.
+//
+// Exported globals (all take/return strings of JSON unless noted):
+//
+//	bbvVet(name, source, threads, ops) -> VetResult JSON (synchronous;
+//	    fast enough to run per keystroke)
+//	bbvCheck(requestJSON) -> Promise of the check Result JSON, the same
+//	    bytes the native CLI's `check -json` prints
+//	bbvExplain(requestJSON, kind) -> Promise of ExplainResult JSON
+//	bbvExamples() -> the embedded model catalogue as JSON
+//
+// Build with wasm/build.sh, which drops bbv.wasm and the Go runtime's
+// wasm_exec.js next to the static page under wasm/playground/.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"syscall/js"
+
+	"repro/internal/playground"
+)
+
+func main() {
+	js.Global().Set("bbvVet", js.FuncOf(vetFunc))
+	js.Global().Set("bbvCheck", js.FuncOf(checkFunc))
+	js.Global().Set("bbvExplain", js.FuncOf(explainFunc))
+	js.Global().Set("bbvExamples", js.FuncOf(examplesFunc))
+	js.Global().Set("bbvReady", js.ValueOf(true))
+	// Block forever: the exported functions are the program.
+	select {}
+}
+
+// mustJSON renders v as JSON; the playground types marshal by
+// construction.
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(map[string]string{"error": err.Error()})
+	}
+	return string(b)
+}
+
+// vetFunc is synchronous: vet is sub-millisecond on playground-sized
+// models, so the editor calls it on every keystroke.
+func vetFunc(_ js.Value, args []js.Value) any {
+	if len(args) < 4 {
+		return mustJSON(playground.VetResult{Error: "bbvVet(name, source, threads, ops)"})
+	}
+	res := playground.Vet(args[0].String(), args[1].String(), args[2].Int(), args[3].Int())
+	return mustJSON(res)
+}
+
+// promise runs work on a fresh goroutine and resolves with its JSON (or
+// rejects with an Error), keeping the browser's event loop free while
+// the state space is explored.
+func promise(work func() (string, error)) any {
+	handler := js.FuncOf(func(_ js.Value, pargs []js.Value) any {
+		resolve, reject := pargs[0], pargs[1]
+		go func() {
+			out, err := work()
+			if err != nil {
+				errCtor := js.Global().Get("Error")
+				reject.Invoke(errCtor.New(err.Error()))
+				return
+			}
+			resolve.Invoke(out)
+		}()
+		return nil
+	})
+	return js.Global().Get("Promise").New(handler)
+}
+
+func decodeRequest(arg js.Value) (playground.CheckRequest, error) {
+	var req playground.CheckRequest
+	err := json.Unmarshal([]byte(arg.String()), &req)
+	return req, err
+}
+
+func checkFunc(_ js.Value, args []js.Value) any {
+	return promise(func() (string, error) {
+		req, err := decodeRequest(args[0])
+		if err != nil {
+			return "", err
+		}
+		return playground.Check(context.Background(), req)
+	})
+}
+
+func explainFunc(_ js.Value, args []js.Value) any {
+	kind := ""
+	if len(args) > 1 {
+		kind = args[1].String()
+	}
+	return promise(func() (string, error) {
+		req, err := decodeRequest(args[0])
+		if err != nil {
+			return "", err
+		}
+		res, err := playground.Explain(context.Background(), req, kind)
+		if err != nil {
+			return "", err
+		}
+		return mustJSON(res), nil
+	})
+}
+
+func examplesFunc(js.Value, []js.Value) any {
+	return mustJSON(playground.Examples())
+}
