@@ -54,6 +54,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/statecodec"
 	"repro/internal/statestore"
+	"repro/internal/vet"
 )
 
 func main() {
@@ -106,7 +107,10 @@ subcommands:
   list                         list the packaged algorithms
   check   [flags] <algorithm>  verify linearizability (Thm 5.3) and lock-freedom (Thm 5.9);
                                -json emits the bbvd service's result schema;
-                               -spec job.json runs a service job spec file instead
+                               -spec job.json runs a service job spec file instead;
+                               -reduction prunes the exploration with the static
+                               tau-confluence analysis (identical verdicts,
+                               fewer states; BBVL models only)
   explore [flags] <algorithm>  generate the state space and its quotient
   ktrace  [flags] <algorithm>  classify tau steps in the k-trace hierarchy (Table I)
   compare [flags] <algorithm>  compare the object with its specification under
@@ -130,7 +134,9 @@ subcommands:
                                exploring anything; -alg id / -all vet registry
                                algorithms, -list prints the analyzer catalogue,
                                -Werror exits non-zero on warnings, -json emits
-                               machine-readable findings
+                               machine-readable findings, -independence prints
+                               the independence / tau-confluence report that
+                               licenses the -reduction pruning
 
 common flags: -threads N (default 2), -ops N (default 2), -vals 1,2, -max-states N,
               -workers N (exploration workers; 0 = all cores, 1 = sequential —
@@ -307,6 +313,7 @@ func check(args []string) error {
 	specFile := cf.fs.String("spec", "", "run an api.JobSpec JSON file (strict decode) and print the result JSON")
 	verbose := cf.fs.Bool("v", false, "print a per-stage table (explore/quotient/equivalence...: wall time, sizes, refinement rounds, cache hits)")
 	checksFlag := cf.fs.String("checks", "", "comma-separated checks to run against one shared session: linearizability,lockfree,deadlock (default: linearizability plus lockfree or deadlock)")
+	reduction := cf.fs.Bool("reduction", false, "enable the static tau-confluence partial-order reduction (BBVL models only; verdicts are identical, the explored state space shrinks)")
 	if err := cf.fs.Parse(args); err != nil {
 		return err
 	}
@@ -336,6 +343,10 @@ func check(args []string) error {
 		Vals:        acfg.Vals,
 		Checks:      checks,
 		MemBudgetMB: cf.memBudgetMB(),
+		Reduction:   *reduction,
+	}
+	if *reduction {
+		ccfg.ReductionProvider = api.ReductionProvider(ccfg.Threads, ccfg.Ops)
 	}
 	if *cf.model != "" {
 		spec.ModelSource = string(cf.modelSrc)
@@ -913,6 +924,7 @@ func vetCmd(args []string) error {
 	valsFlag := fs.String("vals", "", "comma-separated value universe (default algorithm-specific)")
 	algID := fs.String("alg", "", "vet a registry algorithm instead of model files")
 	all := fs.Bool("all", false, "vet every registry algorithm")
+	indep := fs.Bool("independence", false, "print the independence / tau-confluence analysis report instead of findings")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -968,6 +980,10 @@ func vetCmd(args []string) error {
 		}
 	}
 
+	if *indep {
+		return vetIndependence(specs, *jsonOut)
+	}
+
 	var findings []api.VetFinding
 	hasErrors := false
 	for _, spec := range specs {
@@ -998,6 +1014,46 @@ func vetCmd(args []string) error {
 		return fmt.Errorf("vet failed")
 	case *werror && len(findings) > 0:
 		return fmt.Errorf("vet found warnings (-Werror)")
+	}
+	return nil
+}
+
+// vetIndependence prints the independence / τ-confluence report for
+// each target: the statement footprints, the verified spin locks, and
+// the confluent (reduction-licensed) statement set. Programs without IR
+// (hand-coded registry encodings) report that nothing is licensed.
+func vetIndependence(specs []api.JobSpec, jsonOut bool) error {
+	type entry struct {
+		Target   string                 `json:"target"`
+		Artifact *vet.ReductionArtifact `json:"artifact"` // nil: no IR, nothing licensed
+	}
+	var entries []entry
+	for _, spec := range specs {
+		target := spec.Algorithm
+		if target == "" {
+			target = spec.ModelName
+		}
+		art, err := api.IndependenceReport(spec)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, entry{Target: target, Artifact: art})
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(entries)
+	}
+	for i, e := range entries {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== %s ==\n", e.Target)
+		if e.Artifact == nil {
+			fmt.Println("no IR (hand-coded program); no reduction licensed")
+			continue
+		}
+		fmt.Print(e.Artifact.Format())
 	}
 	return nil
 }

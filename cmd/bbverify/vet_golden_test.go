@@ -1,0 +1,81 @@
+package main
+
+// Golden test for `bbverify vet -json`: the wire output over the seeded
+// defect fixtures is pinned byte for byte. The independence /
+// τ-confluence analysis lives in the same vet package as the finding
+// analyzers; this test proves it never perturbs the finding catalogue,
+// ordering, positions or encoding of the default vet pass — reduction
+// reporting is opt-in via -independence and must stay out of this
+// output entirely.
+//
+// Regenerate with: BBV_UPDATE_GOLDEN=1 go test ./cmd/bbverify -run TestVetJSONGolden
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func TestVetJSONGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "vet", "testdata")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".bbvl" {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		t.Fatal("no .bbvl fixtures found")
+	}
+
+	// The fixture set includes error-severity findings (noreturn.bbvl),
+	// so the command exits with "vet failed" after printing the JSON —
+	// that error is part of the pinned behavior, not a test failure.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(append([]string{"vet", "-json"}, paths...))
+	w.Close()
+	os.Stdout = old
+	var raw []byte
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		raw = append(raw, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if runErr == nil || runErr.Error() != "vet failed" {
+		t.Fatalf("vet over the fixtures must fail with %q (noreturn.bbvl has an error finding), got %v", "vet failed", runErr)
+	}
+
+	golden := filepath.Join("testdata", "vet_fixtures.golden.json")
+	if os.Getenv("BBV_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(raw))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with BBV_UPDATE_GOLDEN=1)", err)
+	}
+	if string(raw) != string(want) {
+		t.Errorf("vet -json output drifted from %s (regenerate with BBV_UPDATE_GOLDEN=1 if the change is intended)\ngot %d bytes, want %d bytes\n--- got ---\n%s",
+			golden, len(raw), len(want), raw)
+	}
+}

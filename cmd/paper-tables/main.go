@@ -36,6 +36,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "exploration workers (0 = all cores, 1 = sequential)")
 	stages := fs.Bool("stages", false, "print per-stage runtime totals after each exhibit")
 	membudget := fs.String("membudget", "", "resident state-storage budget per exploration, e.g. 2GiB; past it, state storage spills to temp files (default: all in RAM) — exhibit contents are identical for any budget")
+	reduction := fs.Bool("reduction", false, "enable the static tau-confluence partial-order reduction in every exploration (verdicts and quotients are identical; raw state counts shrink for IR-carrying programs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,7 +69,7 @@ func run(args []string) error {
 		}
 		selected = append(selected, e)
 	}
-	opt := exhibits.Options{Quick: *quick, MaxStates: *maxStates, Workers: *workers, MemBudget: memBytes}
+	opt := exhibits.Options{Quick: *quick, MaxStates: *maxStates, Workers: *workers, MemBudget: memBytes, Reduction: *reduction}
 	for _, e := range selected {
 		start := time.Now()
 		t, err := e.Run(opt)

@@ -82,6 +82,15 @@ type JobSpec struct {
 	// (default "model.bbvl"). Cosmetic only: it is excluded from the
 	// cache key.
 	ModelName string `json:"model_name,omitempty"`
+	// Reduction enables the static independence / τ-confluence analysis
+	// and the divergence-preserving partial-order reduction it licenses:
+	// the exploration prioritizes provably confluent τ-statements and
+	// compresses their chains, shrinking the state space without
+	// changing any verdict or quotient. Only BBVL-compiled programs
+	// carry the IR the analysis needs; for registry programs the flag is
+	// accepted and has no effect. The reduced LTS differs from the full
+	// one (state counts shrink), so the flag enters the cache key.
+	Reduction bool `json:"reduction,omitempty"`
 	// Checks selects which properties a "check" job verifies, any of
 	// "linearizability", "lockfree" and "deadlock"; they all run against
 	// one shared artifact session, so the implementation is explored and
@@ -315,6 +324,12 @@ func (s JobSpec) CacheKey() string {
 		b.WriteString("\x00checks=")
 		b.WriteString(strings.Join(checks, ","))
 	}
+	// Reduction changes the explored LTS (state counts in results), so it
+	// must key separately; the false default is not hashed, keeping
+	// pre-existing cache entries valid across the upgrade.
+	if s.Reduction {
+		b.WriteString("\x00reduction=1")
+	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }
@@ -325,7 +340,7 @@ func (s JobSpec) algorithmConfig() algorithms.Config {
 
 func (s JobSpec) coreConfig(backend statecodec.Backend) core.Config {
 	ref, _ := bisim.ParseRefiner(s.Refiner) // Validate already vetted the name
-	return core.Config{
+	cfg := core.Config{
 		Threads:   s.Threads,
 		Ops:       s.Ops,
 		MaxStates: s.MaxStates,
@@ -337,6 +352,10 @@ func (s JobSpec) coreConfig(backend statecodec.Backend) core.Config {
 		LayoutProvider: LayoutProvider(s.Threads, s.Ops),
 		Backend:        backend,
 	}
+	if s.Reduction {
+		cfg.ReductionProvider = ReductionProvider(s.Threads, s.Ops)
+	}
+	return cfg
 }
 
 // LayoutProvider builds a core.Config.LayoutProvider that narrows each
@@ -345,6 +364,17 @@ func (s JobSpec) coreConfig(backend statecodec.Backend) core.Config {
 func LayoutProvider(threads, ops int) func(p *machine.Program) *statecodec.Layout {
 	return func(p *machine.Program) *statecodec.Layout {
 		return vet.StateLayout(p, vet.Options{Threads: threads, Ops: ops})
+	}
+}
+
+// ReductionProvider builds a core.Config.ReductionProvider that runs
+// vet's independence / τ-confluence analysis on each explored program,
+// for instances with the given client bounds. Programs without IR (the
+// hand-coded registry encodings, sequential specifications) yield nil
+// and are explored in full.
+func ReductionProvider(threads, ops int) func(p *machine.Program) *machine.Reduction {
+	return func(p *machine.Program) *machine.Reduction {
+		return vet.Reduce(p, vet.Options{Threads: threads, Ops: ops}).Machine()
 	}
 }
 
@@ -459,6 +489,7 @@ type StageJSON struct {
 	PeakRSSBytes  int64   `json:"peak_rss_bytes,omitempty"`
 	SpillFiles    int     `json:"spill_files,omitempty"`
 	StatesPerSec  float64 `json:"states_per_sec,omitempty"`
+	PrunedStates  int64   `json:"pruned_states,omitempty"`
 }
 
 // StageJSONOf converts one core stage stat to wire form.
@@ -478,6 +509,7 @@ func StageJSONOf(st core.StageStat) StageJSON {
 		PeakRSSBytes:   st.PeakRSSBytes,
 		SpillFiles:     st.SpillFiles,
 		StatesPerSec:   st.StatesPerSec,
+		PrunedStates:   st.PrunedStates,
 	}
 }
 

@@ -77,6 +77,22 @@ func (e *VetError) Error() string {
 // `bbverify vet -list` and GET /v1/analyzers.
 func ListAnalyzers() []vet.AnalyzerInfo { return vet.Catalog() }
 
+// IndependenceReport runs the static independence / τ-confluence
+// analysis over the program a job would verify, for `bbverify vet
+// -independence`. The artifact is nil for programs that carry no IR
+// (the hand-coded registry encodings): the analysis cannot see inside
+// opaque Go closures, so nothing is licensed. The spec is normalized
+// but not validated — callers validate separately.
+func IndependenceReport(spec JobSpec) (*vet.ReductionArtifact, error) {
+	spec.Normalize()
+	alg, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
+	p := alg.Build(spec.algorithmConfig())
+	return vet.Reduce(p, vet.Options{Threads: spec.Threads, Ops: spec.Ops}), nil
+}
+
 // VetSpec runs the pre-exploration static-analysis pass over the
 // program a job would verify: the full model pass (AST checks, interval
 // analyzers, τ-cycle probe) for model jobs, or the τ-cycle probe for

@@ -69,6 +69,15 @@ type Config struct {
 	// structural layout. Layouts never change any result, only bytes per
 	// state.
 	LayoutProvider func(p *machine.Program) *statecodec.Layout
+	// ReductionProvider, when set, supplies a τ-confluence partial-order
+	// reduction artifact for each program explored under this
+	// configuration (typically vet.Reduce packed via Machine()).
+	// Returning nil explores the full state space. A sound artifact
+	// never changes any quotient or verdict — the reduced LTS is
+	// divergence-preserving branching bisimilar to the full one — only
+	// the number of explored states. Sessions time the analysis as its
+	// own StageReduction stage.
+	ReductionProvider func(p *machine.Program) *machine.Reduction
 	// Backend supplies the platform services of each exploration (state
 	// store opener, peak-RSS probe); the zero value is the pure, OS-free
 	// configuration. See machine.Options.Backend.
@@ -101,15 +110,25 @@ func (c Config) options(p *machine.Program, acts, labels *lts.Alphabet) machine.
 	return opt
 }
 
+// reduction runs the configured ReductionProvider for p, if any.
+func (c Config) reduction(p *machine.Program) *machine.Reduction {
+	if p == nil || c.ReductionProvider == nil {
+		return nil
+	}
+	return c.ReductionProvider(p)
+}
+
 // Explore generates the LTS of a program under this configuration with a
 // shared alphabet, exposed for analyses beyond the canned checks.
 func Explore(p *machine.Program, cfg Config, acts, labels *lts.Alphabet) (*lts.LTS, error) {
-	return machine.Explore(p, cfg.options(p, acts, labels))
+	return ExploreContext(context.Background(), p, cfg, acts, labels)
 }
 
 // ExploreContext is Explore with cancellation; see machine.ExploreContext.
 func ExploreContext(ctx context.Context, p *machine.Program, cfg Config, acts, labels *lts.Alphabet) (*lts.LTS, error) {
-	return machine.ExploreContext(ctx, p, cfg.options(p, acts, labels))
+	opt := cfg.options(p, acts, labels)
+	opt.Reduction = cfg.reduction(p)
+	return machine.ExploreContext(ctx, p, opt)
 }
 
 // LinearizabilityResult reports a Theorem 5.3 check.

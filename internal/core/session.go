@@ -173,8 +173,23 @@ func (s *Session) explore(ctx context.Context, r *recorder, p *machine.Program) 
 		r.hit(a.stat)
 		return a, nil
 	}
+	opt := s.cfg.options(p, s.acts, s.labels)
+	if s.cfg.ReductionProvider != nil {
+		rstart := time.Now()
+		red := s.cfg.ReductionProvider(p)
+		rstat := StageStat{
+			Stage:   StageReduction,
+			Target:  p.Name,
+			Elapsed: time.Since(rstart),
+		}
+		if red != nil && !red.Empty() {
+			rstat.StatesOut = red.NumConfluent()
+			opt.Reduction = red
+		}
+		r.add(rstat)
+	}
 	start := time.Now()
-	l, info, err := machine.ExploreWithInfoContext(ctx, p, s.cfg.options(p, s.acts, s.labels))
+	l, info, err := machine.ExploreWithInfoContext(ctx, p, opt)
 	if err != nil {
 		return nil, fmt.Errorf("explore %s: %w", p.Name, err)
 	}
@@ -189,6 +204,7 @@ func (s *Session) explore(ctx context.Context, r *recorder, p *machine.Program) 
 		PeakRSSBytes:   info.Stats.PeakRSSBytes,
 		SpillFiles:     info.Stats.SpillFiles,
 		StatesPerSec:   info.Stats.StatesPerSec(),
+		PrunedStates:   info.Stats.PrunedStates,
 	}}
 	s.programs[p] = a
 	r.add(a.stat)

@@ -9,6 +9,10 @@ import "time"
 const (
 	// StageExplore is state-space generation of one program.
 	StageExplore = "explore"
+	// StageReduction is the static independence / τ-confluence analysis
+	// that licenses partial-order reduction for one program (runs before
+	// that program's explore stage when a ReductionProvider is set).
+	StageReduction = "reduction"
 	// StageQuotient is branching-bisimulation refinement plus quotient
 	// construction of one LTS.
 	StageQuotient = "quotient"
@@ -72,4 +76,10 @@ type StageStat struct {
 	SpillFiles int `json:"spill_files,omitempty"`
 	// StatesPerSec is the exploration throughput.
 	StatesPerSec float64 `json:"states_per_sec,omitempty"`
+	// PrunedStates counts successor expansions the τ-confluence
+	// partial-order reduction replaced with a single prioritized
+	// τ-transition during an explore stage (0 = no reduction installed
+	// or nothing licensed). For a reduction stage, StatesOut is the
+	// number of confluent statements instead.
+	PrunedStates int64 `json:"pruned_states,omitempty"`
 }

@@ -121,6 +121,12 @@ type Options struct {
 	// keeps everything in RAM. Exhibit contents are identical for any
 	// budget — only memory use and wall-clock time change.
 	MemBudget int64
+	// Reduction enables the static τ-confluence partial-order reduction
+	// for each exploration. Verdict and quotient columns are identical;
+	// raw state counts shrink for programs whose IR licenses pruning
+	// (the hand-coded registry encodings carry no IR, so Table II is
+	// unaffected unless run over BBVL models).
+	Reduction bool
 }
 
 // DefaultMaxStates is the per-instance exploration budget of full runs.
@@ -141,7 +147,7 @@ func (o Options) maxStates() int {
 // by vet's interval analysis (the same provider the CLI and the bbvd
 // service install).
 func (o Options) coreConfig(threads, ops int) core.Config {
-	return core.Config{
+	cfg := core.Config{
 		Threads:        threads,
 		Ops:            ops,
 		MaxStates:      o.maxStates(),
@@ -150,6 +156,10 @@ func (o Options) coreConfig(threads, ops int) core.Config {
 		LayoutProvider: api.LayoutProvider(threads, ops),
 		Backend:        statestore.Runtime(),
 	}
+	if o.Reduction {
+		cfg.ReductionProvider = api.ReductionProvider(threads, ops)
+	}
+	return cfg
 }
 
 const capped = "(capped)"

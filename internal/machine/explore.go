@@ -117,6 +117,19 @@ type Options struct {
 	// under the same Threads and Ops; a mis-shaped layout is ignored in
 	// favor of the structural one.
 	Layout *statecodec.Layout
+	// Reduction optionally supplies the τ-confluence partial-order
+	// reduction artifact (vet's independence/confluence analysis via
+	// vet.Reduce). When a state has a running thread at a statement the
+	// artifact licenses, expansion follows the prioritized confluent
+	// τ-chain and emits one compressed τ-transition to its end (interior
+	// states are never interned; Info.Stats.PrunedStates counts the
+	// compressed steps). The reduced LTS is smaller but divergence-sensitive
+	// branching bisimilar to the full one, so every verdict and quotient
+	// block count is unchanged; the pruning rule is a pure function of
+	// state and artifact, so the reduced LTS stays byte-identical for
+	// every worker count and memory budget. A mis-shaped artifact is
+	// ignored. Nil disables reduction.
+	Reduction *Reduction
 	// Backend supplies the platform services of the exploration: the
 	// state-store opener and the process peak-RSS probe. The zero value
 	// is fully functional and OS-free — states stay in RAM (the
@@ -149,6 +162,10 @@ type ExploreStats struct {
 	SpillFiles     int
 	TableFlushes   int
 	FrontierSpills int
+	// PrunedStates counts the explored states whose expansion was pruned
+	// to a single prioritized confluent τ-successor by Options.Reduction;
+	// 0 when no reduction artifact was installed (or it never applied).
+	PrunedStates int64
 	// Elapsed is the exploration wall-clock time.
 	Elapsed time.Duration
 }
@@ -229,6 +246,9 @@ func ExploreWithInfoContext(ctx context.Context, p *Program, opt Options) (*lts.
 	cdc, err := newCodec(p, opt)
 	if err != nil {
 		return nil, nil, err
+	}
+	if opt.Reduction != nil && !opt.Reduction.Matches(p) {
+		opt.Reduction = nil
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -444,6 +464,7 @@ func (e *explorer) run(limit int) (*lts.LTS, *Info, error) {
 	start := time.Now()
 	e.limit = limit
 	e.x = newExpander(p, e.opt.Threads)
+	e.x.red = e.opt.Reduction
 	e.internState(initialState(p, e.opt))
 	if e.err != nil {
 		return nil, nil, e.err
@@ -474,6 +495,7 @@ func (e *explorer) run(limit int) (*lts.LTS, *Info, error) {
 		EncodedBytes:      e.keyBytes,
 		PeakResidentBytes: e.keyBytes,
 		PeakRSSBytes:      e.opt.Backend.ProcessPeakRSS(),
+		PrunedStates:      e.x.pruned,
 		Elapsed:           time.Since(start),
 	}
 	return e.csr.Build(len(e.keys), 0), info, nil
@@ -538,14 +560,29 @@ type expander struct {
 	work, succ *state
 	ctx        Ctx
 	canon      *canonicalizer
+	// red, when non-nil, licenses confluent-τ pruning in expandState;
+	// pruned counts the prioritized expansions it replaced (one per
+	// compressed chain step). chain is the private scratch the
+	// chain-follower mutates; chainMax defensively bounds a chain
+	// (acyclicity makes the bound unreachable for sound artifacts).
+	red      *Reduction
+	pruned   int64
+	chain    *state
+	chainMax int
 }
 
 func newExpander(p *Program, threads int) expander {
+	total := 0
+	for mi := range p.Methods {
+		total += len(p.Methods[mi].Body)
+	}
 	return expander{
-		prog:  p,
-		work:  newScratchState(p, threads),
-		succ:  newScratchState(p, threads),
-		canon: newCanonicalizer(p, p.HeapCap+1),
+		prog:     p,
+		work:     newScratchState(p, threads),
+		succ:     newScratchState(p, threads),
+		canon:    newCanonicalizer(p, p.HeapCap+1),
+		chain:    newScratchState(p, threads),
+		chainMax: threads*total + 1,
 	}
 }
 
@@ -558,7 +595,27 @@ var zeroArg = []int32{0}
 // order — leaving each successor in x.succ for the sink. It returns the
 // number of transitions handed to the sink (a partial count if the sink
 // aborted).
+//
+// With a Reduction installed, a state with a running thread at a
+// licensed confluent statement expands to a single compressed
+// τ-transition: the prioritized chain — always the lowest licensed
+// thread's single τ-successor, repeated while the successor is itself
+// prioritized — is followed privately and only its final state is
+// emitted. Every skipped state is divergence-sensitive branching
+// bisimilar to the chain's end (each hop is an inert confluent τ), so
+// the quotient is untouched while the skipped states never enter the
+// LTS at all. The chain is a pure function of the canonical state and
+// the artifact — a deterministic choice shared by the sequential
+// explorer and every parallel worker, keeping the reduced LTS
+// byte-identical across worker counts and memory budgets.
 func (x *expander) expandState(cur *state, sink transSink) int {
+	if x.red != nil {
+		if t := x.red.pick(cur); t >= 0 {
+			if n, ok := x.expandChain(cur, t, sink); ok {
+				return n
+			}
+		}
+	}
 	emitted := 0
 	for t := range cur.th {
 		n, ok := x.expandThread(cur, t, sink)
@@ -568,6 +625,71 @@ func (x *expander) expandState(cur *state, sink transSink) int {
 		}
 	}
 	return emitted
+}
+
+// expandChain follows the prioritized confluent τ-chain from cur, whose
+// thread t is licensed, and emits one τ-transition to the first state
+// that is not itself prioritized. The transition carries the first
+// step's diagnostic label; the action is τ either way. Returns ok=false
+// without emitting anything when the first licensed statement does not
+// produce exactly one outcome — the artifact mis-licensed it and the
+// caller must fall back to full expansion.
+func (x *expander) expandChain(cur *state, t int, sink transSink) (int, bool) {
+	p := x.prog
+	cur.copyInto(x.chain)
+	var first symTrans
+	for steps := 0; ; {
+		th := &x.chain.th[t]
+		mi, pc := int(th.method), int(th.pc)
+		stmt := &p.Methods[mi].Body[pc]
+		x.ctx = Ctx{
+			T:    t,
+			Arg:  th.arg,
+			G:    x.chain.g,
+			L:    th.locals,
+			outs: x.ctx.outs[:0],
+		}
+		stmt.Exec(&x.ctx)
+		if len(x.ctx.outs) != 1 {
+			if steps == 0 {
+				return 0, false
+			}
+			// Interior statements are licensed too, so this cannot
+			// happen with a sound artifact; stop the chain before the
+			// offending statement (x.chain is canonical here).
+			break
+		}
+		if steps == 0 {
+			first = symTrans{kind: symTau, t: int32(t), m: int32(mi), pc: int32(pc)}
+		}
+		out := x.ctx.outs[0]
+		if out.pc < 0 {
+			th.status = statusReturning
+			th.ret = out.ret
+			th.pc = 0
+			th.arg = 0
+			for i := range th.locals {
+				th.locals[i] = 0
+			}
+		} else {
+			if int(out.pc) >= len(p.Methods[mi].Body) {
+				panic(fmt.Sprintf("machine: %s.%s: goto %d beyond body", p.Name, p.Methods[mi].Name, out.pc))
+			}
+			th.pc = out.pc
+		}
+		x.canon.run(x.chain)
+		steps++
+		x.pruned++
+		if steps >= x.chainMax {
+			break
+		}
+		if t = x.red.pick(x.chain); t < 0 {
+			break
+		}
+	}
+	x.chain.copyInto(x.succ)
+	sink.emit(x, first)
+	return 1, true
 }
 
 // expandThread enumerates the transitions of thread t from state cur,

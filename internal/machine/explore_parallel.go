@@ -109,6 +109,10 @@ func exploreParallel(ctx context.Context, p *Program, opt Options, cdc codec, ac
 			cdc:   cdc,
 			store: store,
 		}
+		// Every worker applies the identical pruning rule inside
+		// expandState, so reduction keeps the LTS byte-identical across
+		// worker counts.
+		ws[i].x.red = opt.Reduction
 	}
 
 	info := &Info{}
@@ -234,6 +238,12 @@ func exploreParallel(ctx context.Context, p *Program, opt Options, cdc codec, ac
 	}
 
 	st := store.Stats()
+	// Each state is expanded by exactly one worker, so the per-worker
+	// pruning counters sum to the deterministic total.
+	var pruned int64
+	for _, w := range ws {
+		pruned += w.x.pruned
+	}
 	info.Stats = ExploreStats{
 		Encoding:          cdc.name(),
 		States:            numStates,
@@ -243,6 +253,7 @@ func exploreParallel(ctx context.Context, p *Program, opt Options, cdc codec, ac
 		SpillFiles:        st.SpillFiles,
 		TableFlushes:      st.TableFlushes,
 		FrontierSpills:    st.FrontierSpills,
+		PrunedStates:      pruned,
 		Elapsed:           time.Since(startTime),
 	}
 	return csr.Build(numStates, 0), info, nil

@@ -94,6 +94,10 @@ type CheckRequest struct {
 	MaxStates int      `json:"max_states,omitempty"`
 	Checks    []string `json:"checks,omitempty"`
 	Refiner   string   `json:"refiner,omitempty"`
+	// Reduction enables the static τ-confluence partial-order reduction
+	// (see api.JobSpec.Reduction): identical verdicts, fewer explored
+	// states for models whose IR licenses pruning.
+	Reduction bool `json:"reduction,omitempty"`
 }
 
 func (r CheckRequest) spec() api.JobSpec {
@@ -107,6 +111,7 @@ func (r CheckRequest) spec() api.JobSpec {
 		MaxStates:   r.MaxStates,
 		Checks:      r.Checks,
 		Refiner:     r.Refiner,
+		Reduction:   r.Reduction,
 	}
 }
 

@@ -25,6 +25,10 @@ type Metrics struct {
 	WallTimeMicrosTotal atomic.Int64
 	SpillFilesTotal     atomic.Int64
 	PeakRSSBytes        atomic.Int64
+	// ReductionPrunedTotal counts successor expansions replaced by a
+	// prioritized confluent τ-step across completed jobs' explore stages
+	// (non-zero only for jobs that opted into "reduction": true).
+	ReductionPrunedTotal atomic.Int64
 
 	// Artifact-store counters. ArtifactHitsTotal counts submissions
 	// served from the persistent store (a subset of CacheHitsTotal);
@@ -73,6 +77,7 @@ func (m *Metrics) RecordStages(stages []api.StageJSON) {
 		m.stageRunsTotal[st.Stage]++
 		m.stageMicrosTotal[st.Stage] += st.ElapsedUS
 		m.SpillFilesTotal.Add(int64(st.SpillFiles))
+		m.ReductionPrunedTotal.Add(st.PrunedStates)
 		if rss := st.PeakRSSBytes; rss > 0 {
 			for {
 				old := m.PeakRSSBytes.Load()
@@ -125,6 +130,7 @@ func (m *Metrics) WriteText(w io.Writer) {
 	gauge("sse_clients_active", "currently connected job event streams", m.SSEClientsActive.Load())
 	counter("states_explored_total", "raw LTS states generated by completed jobs", m.StatesExploredTotal.Load())
 	counter("spill_files_total", "state-storage temp files spilled by memory-budgeted explorations", m.SpillFilesTotal.Load())
+	counter("reduction_pruned_states_total", "successor expansions pruned by the tau-confluence partial-order reduction", m.ReductionPrunedTotal.Load())
 	gauge("peak_rss_bytes", "highest process peak RSS reported by any completed explore stage", m.PeakRSSBytes.Load())
 	fmt.Fprintf(w, "# HELP bbvd_wall_time_seconds_total verification wall time consumed by completed jobs\n"+
 		"# TYPE bbvd_wall_time_seconds_total counter\nbbvd_wall_time_seconds_total %.6f\n",

@@ -76,6 +76,7 @@ function request() {
     source: $("editor").value,
     name: modelName,
     threads, ops,
+    reduction: $("reduction").checked,
   });
 }
 
